@@ -1,0 +1,97 @@
+package scoris
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tabular"
+)
+
+// runTool builds nothing: `go run` compiles and executes the command,
+// exercising the real CLI surface end to end.
+func runTool(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	// 1. Generate two small banks.
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+	for _, p := range []string{est1, est2} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("bankgen did not write %s: %v", p, err)
+		}
+	}
+
+	// 2. Run both engines.
+	scorisOut := filepath.Join(dir, "scoris.m8")
+	blastOut := filepath.Join(dir, "blastn.m8")
+	_, serr := runTool(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", scorisOut, "-v")
+	if !strings.Contains(serr, "step2") {
+		t.Errorf("scoris -v did not print step metrics: %q", serr)
+	}
+	runTool(t, "./cmd/goblastn", "-d", est1, "-i", est2, "-o", blastOut)
+
+	sRecs, err := tabular.ReadFile(scorisOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRecs, err := tabular.ReadFile(blastOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sRecs) == 0 || len(bRecs) == 0 {
+		t.Fatalf("engines found nothing: scoris %d, blastn %d", len(sRecs), len(bRecs))
+	}
+
+	// 3. Diff the outputs with the paper's method.
+	diff, _ := runTool(t, "./cmd/m8diff", scorisOut, blastOut)
+	if !strings.Contains(diff, "missing from A") || !strings.Contains(diff, "missing from B") {
+		t.Errorf("m8diff output malformed:\n%s", diff)
+	}
+}
+
+func TestCLIPairwiseOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	out, _ := runTool(t, "./cmd/scoris",
+		"-d", filepath.Join(dir, "EST1.fasta"),
+		"-i", filepath.Join(dir, "EST2.fasta"),
+		"-m", "0")
+	if !strings.Contains(out, "Query=") || !strings.Contains(out, "Sbjct") {
+		t.Errorf("-m 0 did not produce pairwise blocks:\n%.400s", out)
+	}
+}
+
+func TestCLIExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	out, _ := runTool(t, "./cmd/experiments", "-exp", "datasets", "-scale", "256")
+	if !strings.Contains(out, "T1 — data sets") || !strings.Contains(out, "| H10 |") {
+		t.Errorf("experiments datasets output malformed:\n%.400s", out)
+	}
+}

@@ -1,0 +1,102 @@
+// Command bankgen materializes the synthetic GenBank-substitute data
+// set (DESIGN.md §3) as FASTA files, so the scoris and goblastn
+// binaries can be run on the paper's bank pairs from the shell.
+//
+//	bankgen -out testdata/banks -scale 16            # all 11 banks
+//	bankgen -out /tmp -scale 16 -bank EST1 -bank H10 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bank"
+	"repro/internal/dna"
+	"repro/internal/fasta"
+	"repro/internal/simulate"
+)
+
+type bankList []string
+
+func (b *bankList) String() string     { return strings.Join(*b, ",") }
+func (b *bankList) Set(v string) error { *b = append(*b, v); return nil }
+
+func main() {
+	var banks bankList
+	var (
+		outDir = flag.String("out", "testdata/banks", "output directory")
+		scale  = flag.Int("scale", 16, "bank size divisor relative to the paper (§3.2 table)")
+		quiet  = flag.Bool("q", false, "suppress the summary table")
+	)
+	flag.Var(&banks, "bank", "bank to generate (repeatable; default all)")
+	flag.Parse()
+
+	want := map[simulate.PaperBank]bool{}
+	if len(banks) == 0 {
+		for _, pb := range simulate.AllPaperBanks {
+			want[pb] = true
+		}
+	} else {
+		valid := map[string]bool{}
+		for _, pb := range simulate.AllPaperBanks {
+			valid[string(pb)] = true
+		}
+		for _, name := range banks {
+			if !valid[name] {
+				fmt.Fprintf(os.Stderr, "bankgen: unknown bank %q (valid: %v)\n",
+					name, simulate.AllPaperBanks)
+				os.Exit(2)
+			}
+			want[simulate.PaperBank(name)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	ds := simulate.NewDataSet(*scale)
+	if !*quiet {
+		fmt.Printf("%-6s %10s %12s  %s\n", "bank", "#seq", "Mbp", "file")
+	}
+	for _, pb := range simulate.AllPaperBanks {
+		if !want[pb] {
+			continue
+		}
+		b := ds.Get(pb)
+		path := filepath.Join(*outDir, string(pb)+".fasta")
+		if err := writeBank(b, path); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("%-6s %10d %12.3f  %s\n", pb, b.NumSeqs(), b.Mbp(), path)
+		}
+	}
+}
+
+func writeBank(b *bank.Bank, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := fasta.NewWriter(f)
+	for i := 0; i < b.NumSeqs(); i++ {
+		rec := &fasta.Record{ID: b.SeqID(i), Desc: b.SeqDesc(i), Seq: dna.Decode(b.SeqCodes(i))}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bankgen:", err)
+	os.Exit(1)
+}

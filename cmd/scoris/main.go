@@ -1,0 +1,118 @@
+// Command scoris is the SCORIS-N program of the paper: intensive
+// DNA-bank comparison with the ORIS algorithm, producing BLAST -m 8
+// tabular output.
+//
+// Flags loosely mirror the blastall invocation of paper §3.3:
+//
+//	scoris -d bankA.fasta -i bankB.fasta -o result.m8 -e 0.001 -S 1
+//
+// Bank A (-d) is the subject/database bank, bank B (-i) the query bank.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	scoris "repro"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("d", "", "subject bank FASTA (bank 1, required)")
+		qPath     = flag.String("i", "", "query bank FASTA (bank 2, required)")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+		w         = flag.Int("W", 11, "seed length")
+		evalue    = flag.Float64("e", 1e-3, "E-value cutoff")
+		strand    = flag.Int("S", 1, "strand: 1 = single (paper mode), 3 = both")
+		dust      = flag.Bool("F", true, "low-complexity filter")
+		workers   = flag.Int("a", 0, "worker goroutines (0 = all cores)")
+		asym      = flag.Bool("asymmetric", false, "10-nt half-word indexing of bank 1 (paper §3.4; forces W=10)")
+		self      = flag.Bool("self", false, "self-comparison mode: -d and -i are the same bank; report the upper triangle only")
+		parallel3 = flag.Bool("p3", false, "parallelize step 3 over diagonal bands")
+		match     = flag.Int("r", 1, "match reward")
+		mismatch  = flag.Int("q", 3, "mismatch penalty")
+		gapOpen   = flag.Int("G", 5, "gap open penalty")
+		gapExt    = flag.Int("E", 2, "gap extend penalty")
+		format    = flag.Int("m", 8, "output format: 8 = tabular (paper mode), 0 = full pairwise alignments")
+		verbose   = flag.Bool("v", false, "print per-step metrics to stderr")
+	)
+	flag.Parse()
+	if *dbPath == "" || (*qPath == "" && !*self) {
+		fmt.Fprintln(os.Stderr, "usage: scoris -d bankA.fasta -i bankB.fasta [flags]")
+		fmt.Fprintln(os.Stderr, "       scoris -d genome.fasta -self [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	bank1, err := scoris.LoadBank("bank1", *dbPath)
+	fatal(err)
+	var bank2 *scoris.Bank
+	if *self {
+		bank2 = bank1
+	} else {
+		bank2, err = scoris.LoadBank("bank2", *qPath)
+		fatal(err)
+	}
+
+	opt := scoris.DefaultOptions()
+	opt.W = *w
+	opt.MaxEValue = *evalue
+	opt.Dust = *dust
+	opt.Workers = *workers
+	opt.ParallelStep3 = *parallel3
+	opt.Scoring.Match = *match
+	opt.Scoring.Mismatch = *mismatch
+	opt.Scoring.GapOpen = *gapOpen
+	opt.Scoring.GapExtend = *gapExt
+	if *asym {
+		opt.W = 10
+		opt.Asymmetric = true
+	}
+	if *strand == 3 {
+		opt.Strand = scoris.BothStrands
+	}
+	opt.SkipSelfPairs = *self
+
+	t0 := time.Now()
+	res, err := scoris.Compare(bank1, bank2, opt)
+	fatal(err)
+	elapsed := time.Since(t0)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		fatal(err)
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case 8:
+		fatal(scoris.WriteM8(out, res, bank1, bank2))
+	case 0:
+		fatal(scoris.WritePairwise(out, res, bank1, bank2, opt))
+	default:
+		fatal(fmt.Errorf("unsupported output format -m %d (use 8 or 0)", *format))
+	}
+
+	if *verbose {
+		m := res.Metrics
+		fmt.Fprintf(os.Stderr, "scoris: %s vs %s: %d alignments in %.2fs\n",
+			*dbPath, *qPath, len(res.Alignments), elapsed.Seconds())
+		fmt.Fprintf(os.Stderr, "  step1 index   %8.3fs (%d + %d positions)\n",
+			m.IndexTime.Seconds(), m.IndexedBank1, m.IndexedBank2)
+		fmt.Fprintf(os.Stderr, "  step2 ungapped%8.3fs (%d hit pairs, %d aborted, %d HSPs)\n",
+			m.Step2Time.Seconds(), m.HitPairs, m.Aborted, m.HSPs)
+		fmt.Fprintf(os.Stderr, "  step3 gapped  %8.3fs (%d extensions, %d covered)\n",
+			m.Step3Time.Seconds(), m.GappedExtensions, m.SkippedCovered)
+		fmt.Fprintf(os.Stderr, "  step4 output  %8.3fs\n", m.Step4Time.Seconds())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoris:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// estpipeline reproduces the paper's motivating workload: intensive
+// EST-bank-vs-EST-bank comparison (the first stage of, e.g., EST
+// clustering workflows). It generates two EST-division-style banks that
+// share a gene pool, runs SCORIS-N and the BLASTN baseline on the same
+// pair, and reports the speed-up and the §3.4 sensitivity metrics —
+// a miniature of the paper's tables 2/4/5.
+//
+//	go run ./examples/estpipeline [-reads 1500] [-workers 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	scoris "repro"
+	"repro/internal/simulate"
+)
+
+func main() {
+	reads := flag.Int("reads", 1500, "reads per EST bank")
+	workers := flag.Int("workers", 1, "ORIS worker goroutines")
+	flag.Parse()
+
+	// Two EST banks sampling the same 300-gene pool: the classic
+	// "compare two sequencing runs" job of the paper's introduction.
+	pool := simulate.NewPool(42, 300, 900)
+	mut := simulate.Mutation{Sub: 0.035, Indel: 0.004}
+	bankA := simulate.EST(simulate.ESTSpec{
+		Name: "run1", Seed: 1, NumSeqs: *reads, MeanLen: 500,
+		GeneFraction: 0.5, Mut: mut, PolyATailFraction: 0.15,
+	}, pool)
+	bankB := simulate.EST(simulate.ESTSpec{
+		Name: "run2", Seed: 2, NumSeqs: *reads, MeanLen: 500,
+		GeneFraction: 0.5, Mut: mut, PolyATailFraction: 0.15,
+	}, pool)
+	fmt.Printf("bank %s: %d reads, %.2f Mbp\n", bankA.Name, bankA.NumSeqs(), bankA.Mbp())
+	fmt.Printf("bank %s: %d reads, %.2f Mbp\n", bankB.Name, bankB.NumSeqs(), bankB.Mbp())
+	fmt.Printf("search space: %.2f Mbp²\n\n", bankA.Mbp()*bankB.Mbp())
+
+	// SCORIS-N.
+	oOpt := scoris.DefaultOptions()
+	oOpt.Workers = *workers
+	t0 := time.Now()
+	ores, err := scoris.Compare(bankA, bankB, oOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oTime := time.Since(t0)
+	fmt.Printf("SCORIS-N: %5d alignments in %6.2fs (index %.2fs, step2 %.2fs, step3 %.2fs)\n",
+		len(ores.Alignments), oTime.Seconds(),
+		ores.Metrics.IndexTime.Seconds(), ores.Metrics.Step2Time.Seconds(),
+		ores.Metrics.Step3Time.Seconds())
+
+	// BLASTN baseline.
+	t0 = time.Now()
+	bres, err := scoris.CompareBlastn(bankA, bankB, scoris.DefaultBlastnOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bTime := time.Since(t0)
+	fmt.Printf("BLASTN:   %5d alignments in %6.2fs (%d queries × %.2f Mbp scans)\n",
+		len(bres.Alignments), bTime.Seconds(), bres.Metrics.Queries, bankA.Mbp())
+
+	fmt.Printf("\nspeed-up: %.1f×\n", float64(bTime)/float64(oTime))
+
+	// Paper §3.4 sensitivity metrics.
+	rep := scoris.CompareSensitivity(
+		scoris.ToM8(ores.Alignments, bankA, bankB),
+		scoris.ToM8(bres.Alignments, bankA, bankB))
+	fmt.Printf("\nsensitivity (80%% overlap equivalence):\n")
+	fmt.Printf("  SCtotal %d   BLtotal %d\n", rep.SCTotal, rep.BLTotal)
+	fmt.Printf("  SCmiss  %d   SCORISmiss %.2f%%\n", rep.SCMiss, rep.SCORISMissPct())
+	fmt.Printf("  BLmiss  %d   BLASTmiss  %.2f%%\n", rep.BLMiss, rep.BLASTMissPct())
+}

@@ -1,0 +1,61 @@
+// Quickstart: compare two small in-memory DNA banks with the ORIS
+// engine (SCORIS-N) and print the alignments in BLAST -m 8 format.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	scoris "repro"
+)
+
+// Bank A plays the subject/database role: two "genes".
+const bankA = `>tubulin partial CDS
+ATGAGAGAAATCGTTCACATCCAGGCTGGTCAATGCGGTAACCAGATCGGTGCTAAGTTC
+TGGGAAGTTATCTCTGACGAACACGGTATCGACCCAACCGGTACTTACCACGGTGACTCC
+GACTTGCAGTTGGAACGTATCAACGTTTACTACAACGAAGCTTCCGGTGGTAAGTACGTT
+>actin partial CDS
+ATGTGTGACGACGACGTTGCTGCTTTGGTTGTTGACAACGGTTCCGGTATGTGTAAGGCT
+GGTTTCGCTGGTGACGACGCTCCAAGAGCTGTTTTCCCATCCATCGTTGGTAGACCAAGA
+`
+
+// Bank B holds "reads": a diverged copy of part of the tubulin gene
+// (a few substitutions), plus an unrelated random read.
+const bankB = `>read_tub diverged tubulin fragment
+ATGAGAGAAATCGTTCACATTCAGGCTGGTCAATGCGGTAACCAGATAGGTGCTAAGTTC
+TGGGAAGTTATCTCTGACGAACACGGTATCGATCCAACCGGTACTTACCACGGTGACTCC
+>read_rand unrelated
+GCTTAACGTTCGGATGCCATAAGCTTGCATGCCTGCAGGTCGACTCTAGAGGATCCCCGG
+GTACCGAGCTCGAATTCACTGGCCGTCGTTTTACAACGTCGTGACTGGGAAAACCCTGGC
+`
+
+func main() {
+	bank1, err := scoris.ParseBank("genes", []byte(bankA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank2, err := scoris.ParseBank("reads", []byte(bankB))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := scoris.Compare(bank1, bank2, scoris.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# %d alignment(s) between %q and %q\n",
+		len(res.Alignments), bank1.Name, bank2.Name)
+	if err := scoris.WriteM8(os.Stdout, res, bank1, bank2); err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("# step2: %d hit pairs, %d aborted by the ordered rule, %d HSPs\n",
+		m.HitPairs, m.Aborted, m.HSPs)
+	fmt.Printf("# step3: %d gapped extensions, %d HSPs already covered\n",
+		m.GappedExtensions, m.SkippedCovered)
+}

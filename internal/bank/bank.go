@@ -1,0 +1,188 @@
+// Package bank implements the in-memory DNA bank representation of the
+// ORIS algorithm (paper §2.1, Fig. 2): every sequence of a FASTA bank is
+// 2-bit encoded and concatenated into one SEQ byte array, bracketed by
+// sentinel bytes, together with constant-time position→sequence lookup.
+//
+// The paper stores a bank of N nucleotides in ≈5N bytes (1 byte/base in
+// SEQ + a 4-byte INDEX entry per position). This package owns the SEQ
+// part plus the coordinate bookkeeping; package index owns INDEX.
+package bank
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+	"repro/internal/fasta"
+)
+
+// Sentinel is the byte that separates (and brackets) sequences inside
+// Data. It is not a valid nucleotide code and never compares equal to
+// one, so extensions that overrun a hard bound still cannot match
+// across a record boundary.
+const Sentinel byte = 0xF0
+
+// Bank is an immutable, indexed-ready DNA bank.
+type Bank struct {
+	// Name labels the bank in outputs and experiment tables.
+	Name string
+
+	// Data holds sentinel-bracketed 2-bit codes:
+	// [S] seq0 [S] seq1 [S] ... [S] seqK-1 [S].
+	// Ambiguous input bases are stored as dna.Invalid.
+	Data []byte
+
+	// starts[i] is the offset in Data of the first base of sequence i;
+	// ends[i] is one past its last base.
+	starts, ends []int32
+
+	// seqID[p] is the sequence index owning Data position p, or -1 for
+	// sentinel positions. Gives O(1) bounds lookup in hot extension
+	// paths at a cost of 4 bytes/position.
+	seqID []int32
+
+	ids   []string
+	descs []string
+
+	// totalBases is the number of bases (valid + ambiguous), i.e. the
+	// bank size "N" of the paper, excluding sentinels.
+	totalBases int
+	// validBases counts A/C/G/T only.
+	validBases int
+}
+
+// New builds a bank from FASTA records. Records may be empty; an empty
+// record still occupies a slot so record numbering matches the input
+// file.
+func New(name string, recs []*fasta.Record) *Bank {
+	total := 0
+	for _, r := range recs {
+		total += len(r.Seq)
+	}
+	b := &Bank{
+		Name:   name,
+		Data:   make([]byte, 0, total+len(recs)+1),
+		starts: make([]int32, 0, len(recs)),
+		ends:   make([]int32, 0, len(recs)),
+		seqID:  make([]int32, 0, total+len(recs)+1),
+		ids:    make([]string, 0, len(recs)),
+		descs:  make([]string, 0, len(recs)),
+	}
+	b.Data = append(b.Data, Sentinel)
+	b.seqID = append(b.seqID, -1)
+	for i, r := range recs {
+		b.starts = append(b.starts, int32(len(b.Data)))
+		for _, c := range r.Seq {
+			code := dna.EncodeByte(c)
+			b.Data = append(b.Data, code)
+			b.seqID = append(b.seqID, int32(i))
+			b.totalBases++
+			if dna.IsValid(code) {
+				b.validBases++
+			}
+		}
+		b.ends = append(b.ends, int32(len(b.Data)))
+		b.Data = append(b.Data, Sentinel)
+		b.seqID = append(b.seqID, -1)
+		b.ids = append(b.ids, r.ID)
+		b.descs = append(b.descs, r.Desc)
+	}
+	return b
+}
+
+// FromFile loads a FASTA file into a bank named after the file.
+func FromFile(name, path string) (*Bank, error) {
+	recs, err := fasta.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("bank: %s: no sequences", path)
+	}
+	return New(name, recs), nil
+}
+
+// NumSeqs returns the number of sequences in the bank.
+func (b *Bank) NumSeqs() int { return len(b.starts) }
+
+// TotalBases returns the total base count N (paper's bank size),
+// excluding sentinels, including ambiguous bases.
+func (b *Bank) TotalBases() int { return b.totalBases }
+
+// ValidBases returns the number of unambiguous (ACGT) bases.
+func (b *Bank) ValidBases() int { return b.validBases }
+
+// Mbp returns the bank size in megabases, the unit of the paper's
+// data-set and search-space tables.
+func (b *Bank) Mbp() float64 { return float64(b.totalBases) / 1e6 }
+
+// SeqID returns the FASTA identifier of sequence i.
+func (b *Bank) SeqID(i int) string { return b.ids[i] }
+
+// SeqDesc returns the FASTA description of sequence i.
+func (b *Bank) SeqDesc(i int) string { return b.descs[i] }
+
+// SeqLen returns the length of sequence i in bases.
+func (b *Bank) SeqLen(i int) int { return int(b.ends[i] - b.starts[i]) }
+
+// SeqBounds returns the half-open Data range [start,end) of sequence i.
+func (b *Bank) SeqBounds(i int) (start, end int32) { return b.starts[i], b.ends[i] }
+
+// SeqCodes returns the coded bases of sequence i (a view, not a copy).
+func (b *Bank) SeqCodes(i int) []byte { return b.Data[b.starts[i]:b.ends[i]] }
+
+// SeqAt returns the sequence index owning Data position p, or -1 if p is
+// a sentinel position.
+func (b *Bank) SeqAt(p int32) int32 { return b.seqID[p] }
+
+// Coord translates a Data position into (sequence index, 0-based offset
+// within that sequence). It panics if p is a sentinel position, which
+// would indicate a coordinate bug upstream.
+func (b *Bank) Coord(p int32) (seq int32, off int32) {
+	s := b.seqID[p]
+	if s < 0 {
+		panic(fmt.Sprintf("bank %s: Coord on sentinel position %d", b.Name, p))
+	}
+	return s, p - b.starts[s]
+}
+
+// MemoryFootprint returns the approximate resident bytes of the bank
+// representation itself plus the per-position index the paper counts
+// (SEQ: 1 byte/pos, seqID: 4 bytes/pos; package index adds 4 more).
+func (b *Bank) MemoryFootprint() int {
+	return len(b.Data) + 4*len(b.seqID)
+}
+
+// ReverseComplement returns a new bank holding the reverse complement
+// of every sequence, in the same order, with IDs suffixed "/rc". This
+// supports the complementary-strand search the paper lists as future
+// work for SCORIS-N.
+func (b *Bank) ReverseComplement() *Bank {
+	recs := make([]*fasta.Record, b.NumSeqs())
+	for i := range recs {
+		codes := append([]byte(nil), b.SeqCodes(i)...)
+		dna.ReverseComplementInPlace(codes)
+		recs[i] = &fasta.Record{ID: b.ids[i] + "/rc", Desc: b.descs[i], Seq: dna.Decode(codes)}
+	}
+	return New(b.Name+"/rc", recs)
+}
+
+// Stats summarizes a bank for the paper's §3.2 data-set table.
+type Stats struct {
+	Name    string
+	NumSeqs int
+	Bases   int
+	Mbp     float64
+	GC      float64
+}
+
+// Summary computes data-set table statistics.
+func (b *Bank) Summary() Stats {
+	gc, _ := dna.GC(b.Data)
+	return Stats{
+		Name:    b.Name,
+		NumSeqs: b.NumSeqs(),
+		Bases:   b.totalBases,
+		Mbp:     b.Mbp(),
+		GC:      gc,
+	}
+}

@@ -1,0 +1,228 @@
+package bank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/fasta"
+)
+
+func mk(seqs ...string) *Bank {
+	recs := make([]*fasta.Record, len(seqs))
+	for i, s := range seqs {
+		recs[i] = &fasta.Record{ID: string(rune('a' + i)), Seq: []byte(s)}
+	}
+	return New("test", recs)
+}
+
+func TestLayoutSentinels(t *testing.T) {
+	b := mk("ACGT", "TT")
+	// Expect: S ACGT S TT S  -> length 4+2+3 sentinels = 9
+	if len(b.Data) != 9 {
+		t.Fatalf("len(Data) = %d, want 9", len(b.Data))
+	}
+	for _, p := range []int{0, 5, 8} {
+		if b.Data[p] != Sentinel {
+			t.Errorf("Data[%d] = %#x, want sentinel", p, b.Data[p])
+		}
+		if b.SeqAt(int32(p)) != -1 {
+			t.Errorf("SeqAt(%d) = %d, want -1", p, b.SeqAt(int32(p)))
+		}
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	b := mk("ACGT", "TTG")
+	if b.NumSeqs() != 2 {
+		t.Fatalf("NumSeqs = %d", b.NumSeqs())
+	}
+	if b.TotalBases() != 7 {
+		t.Errorf("TotalBases = %d, want 7", b.TotalBases())
+	}
+	if b.SeqLen(0) != 4 || b.SeqLen(1) != 3 {
+		t.Errorf("SeqLen = %d,%d", b.SeqLen(0), b.SeqLen(1))
+	}
+	if b.SeqID(0) != "a" || b.SeqID(1) != "b" {
+		t.Errorf("SeqID = %q,%q", b.SeqID(0), b.SeqID(1))
+	}
+	if got := string(dna.Decode(b.SeqCodes(0))); got != "ACGT" {
+		t.Errorf("SeqCodes(0) decodes to %q", got)
+	}
+	if got := string(dna.Decode(b.SeqCodes(1))); got != "TTG" {
+		t.Errorf("SeqCodes(1) decodes to %q", got)
+	}
+}
+
+func TestSeqBoundsConsistent(t *testing.T) {
+	b := mk("ACGT", "", "TT")
+	for i := 0; i < b.NumSeqs(); i++ {
+		s, e := b.SeqBounds(i)
+		if int(e-s) != b.SeqLen(i) {
+			t.Errorf("seq %d: bounds [%d,%d) but len %d", i, s, e, b.SeqLen(i))
+		}
+		for p := s; p < e; p++ {
+			if b.SeqAt(p) != int32(i) {
+				t.Errorf("SeqAt(%d) = %d, want %d", p, b.SeqAt(p), i)
+			}
+		}
+	}
+}
+
+func TestEmptySequenceOccupiesSlot(t *testing.T) {
+	b := mk("AC", "", "GT")
+	if b.NumSeqs() != 3 {
+		t.Fatalf("NumSeqs = %d, want 3", b.NumSeqs())
+	}
+	if b.SeqLen(1) != 0 {
+		t.Errorf("SeqLen(1) = %d, want 0", b.SeqLen(1))
+	}
+	if b.SeqID(2) != "c" {
+		t.Errorf("SeqID(2) = %q", b.SeqID(2))
+	}
+}
+
+func TestCoord(t *testing.T) {
+	b := mk("ACGT", "TTG")
+	s0, _ := b.SeqBounds(0)
+	seq, off := b.Coord(s0 + 2)
+	if seq != 0 || off != 2 {
+		t.Errorf("Coord = %d,%d want 0,2", seq, off)
+	}
+	s1, _ := b.SeqBounds(1)
+	seq, off = b.Coord(s1)
+	if seq != 1 || off != 0 {
+		t.Errorf("Coord = %d,%d want 1,0", seq, off)
+	}
+}
+
+func TestCoordPanicsOnSentinel(t *testing.T) {
+	b := mk("AC")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coord(0) on sentinel did not panic")
+		}
+	}()
+	b.Coord(0)
+}
+
+func TestAmbiguousBasesStoredInvalid(t *testing.T) {
+	b := mk("ANGT")
+	s, _ := b.SeqBounds(0)
+	if b.Data[s+1] != dna.Invalid {
+		t.Errorf("N encoded as %#x, want Invalid", b.Data[s+1])
+	}
+	if b.TotalBases() != 4 {
+		t.Errorf("TotalBases = %d, want 4 (N counts)", b.TotalBases())
+	}
+	if b.ValidBases() != 3 {
+		t.Errorf("ValidBases = %d, want 3", b.ValidBases())
+	}
+}
+
+func TestSentinelNeverEqualsNucleotideOrInvalid(t *testing.T) {
+	for c := byte(0); c < dna.Alphabet; c++ {
+		if Sentinel == c {
+			t.Fatal("sentinel collides with nucleotide code")
+		}
+	}
+	if Sentinel == dna.Invalid {
+		t.Fatal("sentinel collides with dna.Invalid")
+	}
+}
+
+func TestMbp(t *testing.T) {
+	b := mk("ACGT")
+	if got := b.Mbp(); got != 4e-6 {
+		t.Errorf("Mbp = %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	b := mk("GGCC", "AATT")
+	s := b.Summary()
+	if s.NumSeqs != 2 || s.Bases != 8 || s.GC != 0.5 || s.Name != "test" {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestReverseComplementBank(t *testing.T) {
+	b := mk("GATTACA", "CC")
+	rc := b.ReverseComplement()
+	if rc.NumSeqs() != 2 {
+		t.Fatalf("NumSeqs = %d", rc.NumSeqs())
+	}
+	if got := string(dna.Decode(rc.SeqCodes(0))); got != "TGTAATC" {
+		t.Errorf("rc seq0 = %q", got)
+	}
+	if got := string(dna.Decode(rc.SeqCodes(1))); got != "GG" {
+		t.Errorf("rc seq1 = %q", got)
+	}
+	if rc.SeqID(0) != "a/rc" {
+		t.Errorf("rc id = %q", rc.SeqID(0))
+	}
+	// double reverse complement restores the original bases
+	rcrc := rc.ReverseComplement()
+	if got := string(dna.Decode(rcrc.SeqCodes(0))); got != "GATTACA" {
+		t.Errorf("rcrc seq0 = %q", got)
+	}
+}
+
+func TestMemoryFootprintScales(t *testing.T) {
+	small := mk("ACGT")
+	big := mk("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	if small.MemoryFootprint() >= big.MemoryFootprint() {
+		t.Errorf("footprints: small %d >= big %d", small.MemoryFootprint(), big.MemoryFootprint())
+	}
+	// ~5 bytes/position per the paper's estimate (1 SEQ + 4 seqID here).
+	if f := big.MemoryFootprint(); f < 5*big.TotalBases() {
+		t.Errorf("footprint %d below 5N = %d", f, 5*big.TotalBases())
+	}
+}
+
+// Property: for every position of every random bank, SeqAt agrees with
+// the bounds table, sentinel positions are exactly the complement of
+// sequence spans, and Coord round-trips.
+func TestPositionMapProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		if len(lens) == 0 || len(lens) > 12 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(int64(len(lens))))
+		recs := make([]*fasta.Record, len(lens))
+		letters := []byte("ACGT")
+		for i, L := range lens {
+			seq := make([]byte, int(L)%40)
+			for j := range seq {
+				seq[j] = letters[rng.Intn(4)]
+			}
+			recs[i] = &fasta.Record{ID: "q", Seq: seq}
+		}
+		b := New("prop", recs)
+		covered := make([]bool, len(b.Data))
+		for i := 0; i < b.NumSeqs(); i++ {
+			s, e := b.SeqBounds(i)
+			for p := s; p < e; p++ {
+				covered[p] = true
+				seq, off := b.Coord(p)
+				if seq != int32(i) || b.starts[seq]+off != p {
+					return false
+				}
+			}
+		}
+		for p, c := range covered {
+			isSent := b.Data[p] == Sentinel
+			if c == isSent { // position must be exactly one of the two
+				return false
+			}
+			if isSent != (b.SeqAt(int32(p)) == -1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package blastn
+
+import (
+	"testing"
+)
+
+// The strided 8-mer scan must find the same homologies as a plain
+// every-position W-mer scan — the stride is chosen so every W-mer match
+// contains an aligned probe word.
+func TestStridedScanFindsSamePairsAsFullScan(t *testing.T) {
+	db, q := testBanks(31, 8, 8, 6, 700)
+
+	full := DefaultOptions()
+	full.ScanWord = 11
+	full.ScanStride = 1
+
+	strided := DefaultOptions() // ScanWord 8, stride 4
+
+	rFull, err := Compare(db, q, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStr, err := Compare(db, q, strided)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairs := func(r *Result) map[[2]int32]bool {
+		m := map[[2]int32]bool{}
+		for _, a := range r.Alignments {
+			m[[2]int32{a.Seq1, a.Seq2}] = true
+		}
+		return m
+	}
+	pf, ps := pairs(rFull), pairs(rStr)
+	for k := range pf {
+		if !ps[k] {
+			t.Errorf("pair %v found by full scan but missed by strided scan", k)
+		}
+	}
+	for i := int32(0); i < 6; i++ {
+		if !ps[[2]int32{i, i}] {
+			t.Errorf("strided scan missed planted pair (%d,%d)", i, i)
+		}
+	}
+}
+
+func TestStridedScanProbesFewerPositions(t *testing.T) {
+	db, q := testBanks(32, 4, 4, 2, 800)
+	full := DefaultOptions()
+	full.ScanWord = 11
+	full.ScanStride = 1
+	strided := DefaultOptions()
+	rFull, err := Compare(db, q, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStr, err := Compare(db, q, strided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride 4 must probe ~1/4 of the positions.
+	lo := rFull.Metrics.ScannedPositions / 5
+	hi := rFull.Metrics.ScannedPositions / 3
+	if rStr.Metrics.ScannedPositions < lo || rStr.Metrics.ScannedPositions > hi {
+		t.Errorf("strided probes %d, full %d (want ≈ 1/4)",
+			rStr.Metrics.ScannedPositions, rFull.Metrics.ScannedPositions)
+	}
+}
+
+func TestVerificationRejectsBare8merHits(t *testing.T) {
+	// Unrelated random banks: plenty of random 8-mer probe hits, nearly
+	// all failing the W=11 verification.
+	db, q := testBanks(33, 4, 4, 0, 800)
+	r, err := Compare(db, q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	if m.WordHits == 0 {
+		t.Fatal("no 8-mer probe hits on random banks?")
+	}
+	if m.VerifyFailed == 0 {
+		t.Error("verification never rejected a bare 8-mer hit")
+	}
+	if m.VerifyFailed+m.SkippedByDiag+m.Extensions != m.WordHits {
+		t.Errorf("accounting: %+v", m)
+	}
+	// Rejection rate should dominate on unrelated data.
+	if float64(m.VerifyFailed) < 0.5*float64(m.WordHits-m.SkippedByDiag) {
+		t.Errorf("verification rejected too few: %d of %d unskipped hits",
+			m.VerifyFailed, m.WordHits-m.SkippedByDiag)
+	}
+}
+
+func TestScanOptionValidation(t *testing.T) {
+	db, q := testBanks(34, 1, 1, 1, 120)
+	bad := []func(*Options){
+		func(o *Options) { o.ScanWord = 2 },                    // too small
+		func(o *Options) { o.ScanWord = 12 },                   // exceeds W
+		func(o *Options) { o.ScanStride = 5 },                  // misses 11-mers with sw=8
+		func(o *Options) { o.ScanWord = 11; o.ScanStride = 2 }, // sw=W needs stride 1
+	}
+	for i, f := range bad {
+		opt := DefaultOptions()
+		f(&opt)
+		if _, err := Compare(db, q, opt); err == nil {
+			t.Errorf("bad scan options %d accepted", i)
+		}
+	}
+	// Legal boundary: sw=8, stride=4 == W-sw+1.
+	opt := DefaultOptions()
+	opt.ScanWord = 8
+	opt.ScanStride = 4
+	if _, err := Compare(db, q, opt); err != nil {
+		t.Errorf("legal boundary rejected: %v", err)
+	}
+}
+
+func TestZeroScanParamsDefaultToFullScan(t *testing.T) {
+	opt := Options{}
+	opt.W = 11
+	sw, stride := opt.scanParams()
+	if sw != 11 || stride != 1 {
+		t.Errorf("scanParams zero-value = %d,%d, want 11,1", sw, stride)
+	}
+}

@@ -1,0 +1,260 @@
+// Package blat implements a BLAT-style comparison engine (Kent, Genome
+// Research 2002), the first of the "other programs … which also handle
+// sequence indexing into main memory" the paper lists as comparison
+// targets for future work (§4: "Comparing SCORIS-N with other programs
+// (BLAT, FLASH, BLASTZ)").
+//
+// Structurally BLAT is the mirror image of classic BLASTN: the
+// *database* is indexed once with NON-OVERLAPPING W-mer tiles (so the
+// index is W× smaller than ORIS's all-positions index), and each query
+// is scanned once at every position against that index. Bank-vs-bank
+// cost is therefore one pass over the total query bases instead of one
+// database scan per query — fast like ORIS, but with BLAT's
+// characteristic sensitivity limit: only matches of length ≥ 2W−1 are
+// guaranteed to contain an aligned tile, so shorter or fragmented
+// matches can be missed. The three-way experiment in the harness
+// (experiments.ThreeWay) shows exactly this trade-off.
+//
+// Extension, statistics and output share the same substrates as the
+// other two engines, so cross-engine differences reflect search
+// strategy only.
+package blat
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/gapped"
+	"repro/internal/hsp"
+	"repro/internal/index"
+	"repro/internal/seed"
+	"repro/internal/stats"
+)
+
+// Options configures the engine. Defaults mirror the other engines
+// where meaningful (BLAT's own default tile size is also 11 for DNA).
+type Options struct {
+	// W is the tile size.
+	W int
+	// Scoring holds match/mismatch/gap parameters.
+	Scoring stats.Scoring
+	// UngappedXDrop and GappedXDrop are the X-drop thresholds.
+	UngappedXDrop int32
+	GappedXDrop   int32
+	// MinUngappedScore gates HSPs into the gapped stage.
+	MinUngappedScore int32
+	// MaxEValue is the report threshold.
+	MaxEValue float64
+	// Dust masks low-complexity query words.
+	Dust          bool
+	DustWindow    int
+	DustThreshold float64
+}
+
+// DefaultOptions mirrors the repository-wide engine defaults.
+func DefaultOptions() Options {
+	return Options{
+		W:                11,
+		Scoring:          stats.DefaultScoring,
+		UngappedXDrop:    20,
+		GappedXDrop:      25,
+		MinUngappedScore: 22,
+		MaxEValue:        1e-3,
+		Dust:             true,
+	}
+}
+
+// Validate checks option consistency.
+func (o *Options) Validate() error {
+	if o.W < 4 || o.W > seed.MaxW {
+		return fmt.Errorf("blat: W=%d out of range [4,%d]", o.W, seed.MaxW)
+	}
+	if err := o.Scoring.Validate(); err != nil {
+		return err
+	}
+	if o.UngappedXDrop <= 0 || o.GappedXDrop <= 0 {
+		return fmt.Errorf("blat: X-drop thresholds must be positive")
+	}
+	if o.MaxEValue <= 0 {
+		return fmt.Errorf("blat: MaxEValue must be positive")
+	}
+	return nil
+}
+
+// Metrics counts engine work.
+type Metrics struct {
+	IndexTime time.Duration
+	ScanTime  time.Duration
+	GapTime   time.Duration
+
+	// TilesIndexed is the database tile count (≈ N/W).
+	TilesIndexed int
+	// QueryPositions is the number of query windows probed.
+	QueryPositions int64
+	TileHits       int64
+	SkippedByDiag  int64
+	Extensions     int64
+	HSPs           int
+	GappedExts     int
+	SkippedCovered int
+	Alignments     int
+}
+
+// Result bundles alignments and metrics.
+type Result struct {
+	Alignments []align.Alignment
+	Metrics    Metrics
+}
+
+// Compare searches every query sequence against the tile-indexed db
+// bank. Conventions match the other engines: db is "bank 1"/subject,
+// E-values use m = db residues, n = query length.
+func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	ka, err := stats.Ungapped(opt.Scoring.Match, opt.Scoring.Mismatch)
+	if err != nil {
+		return nil, err
+	}
+	var met Metrics
+
+	// ---- one-time non-overlapping tile index of the database ----
+	t0 := time.Now()
+	ix := index.Build(db, index.Options{W: opt.W, SampleStep: opt.W})
+	met.IndexTime = time.Since(t0)
+	met.TilesIndexed = ix.Indexed
+
+	var masker *dust.Masker
+	if opt.Dust {
+		masker = dust.New(opt.DustWindow, opt.DustThreshold)
+	}
+
+	maxQ := 0
+	for i := 0; i < queries.NumSeqs(); i++ {
+		if l := queries.SeqLen(i); l > maxQ {
+			maxQ = l
+		}
+	}
+	diagEnd := make([]int32, len(db.Data)+maxQ+1)
+	diagGen := make([]int32, len(db.Data)+maxQ+1)
+	var gen int32
+
+	ext := hsp.Extender{
+		W:        opt.W,
+		Match:    int32(opt.Scoring.Match),
+		Mismatch: int32(opt.Scoring.Mismatch),
+		XDrop:    opt.UngappedXDrop,
+		Ordered:  false,
+	}
+	gapExt := gapped.NewExtender(gapped.FromScoring(opt.Scoring, opt.GappedXDrop))
+
+	d1, d2 := db.Data, queries.Data
+	var all []align.Alignment
+	w := int32(opt.W)
+
+	for qi := 0; qi < queries.NumSeqs(); qi++ {
+		qLo, qHi := queries.SeqBounds(qi)
+		if qHi-qLo < w {
+			continue
+		}
+		gen++
+		var maskBits []bool
+		if masker != nil {
+			maskBits = masker.MaskBits(queries.Data[qLo:qHi])
+		}
+
+		// ---- scan the query against the tile index ----
+		t0 = time.Now()
+		var hsps []hsp.HSP
+		diagOff := qHi - qLo
+		seed.ForEach(queries.Data[qLo:qHi], opt.W, func(rel int32, c seed.Code) {
+			met.QueryPositions++
+			if maskBits != nil {
+				for q := rel; q < rel+w; q++ {
+					if maskBits[q] {
+						return
+					}
+				}
+			}
+			qPos := qLo + rel
+			for p := ix.Head(c); p >= 0; p = ix.NextPos(p) {
+				met.TileHits++
+				diag := p - rel + diagOff
+				if diagGen[diag] == gen && diagEnd[diag] > p {
+					met.SkippedByDiag++
+					continue
+				}
+				met.Extensions++
+				s1 := db.SeqAt(p)
+				lo1, hi1 := db.SeqBounds(int(s1))
+				h, _ := ext.Extend(d1, d2, p, qPos, lo1, hi1, qLo, qHi, c, nil)
+				diagGen[diag] = gen
+				diagEnd[diag] = h.E1
+				if h.Score >= opt.MinUngappedScore {
+					hsps = append(hsps, h)
+				}
+			}
+		})
+		met.ScanTime += time.Since(t0)
+
+		// ---- gapped stage (shared shape with the other engines) ----
+		t0 = time.Now()
+		hsp.SortByDiag(hsps)
+		met.HSPs += len(hsps)
+		var ta align.TAlign
+		for _, h := range hsps {
+			if ta.Covered(h) {
+				met.SkippedCovered++
+				continue
+			}
+			met.GappedExts++
+			m1, m2 := h.Mid()
+			s1 := db.SeqAt(m1)
+			lo1, hi1 := db.SeqBounds(int(s1))
+			left := gapExt.ExtendLeft(d1, d2, m1, lo1, m2, qLo)
+			right := gapExt.ExtendRight(d1, d2, m1, hi1, m2, qHi)
+			r := left.Add(right)
+			if r.AlignLen() == 0 {
+				continue
+			}
+			ta.Add(align.Alignment{
+				Seq1: s1, Seq2: int32(qi),
+				S1: m1 - left.Len1, E1: m1 + right.Len1,
+				S2: m2 - left.Len2, E2: m2 + right.Len2,
+				Score:      r.Score,
+				Matches:    r.Matches,
+				Mismatches: r.Mismatches,
+				GapOpens:   r.GapOpens,
+				GapBases:   r.GapBases(),
+				Length:     r.AlignLen(),
+				Anchor1:    m1,
+				Anchor2:    m2,
+			})
+		}
+		all = append(all, ta.All()...)
+		met.GapTime += time.Since(t0)
+	}
+
+	// ---- statistics, dedup, sort ----
+	t0 = time.Now()
+	m := db.TotalBases()
+	deduped := align.Dedup(all)
+	out := deduped[:0]
+	for i := range deduped {
+		a := deduped[i]
+		n := queries.SeqLen(int(a.Seq2))
+		a.EValue = ka.EValue(int(a.Score), m, n)
+		a.BitScore = ka.BitScore(int(a.Score))
+		if a.EValue <= opt.MaxEValue {
+			out = append(out, a)
+		}
+	}
+	align.SortForDisplay(out)
+	met.Alignments = len(out)
+	met.GapTime += time.Since(t0)
+	return &Result{Alignments: out, Metrics: met}, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShuffledSeedOrderSameAlignments(t *testing.T) {
+	b1, b2 := testBanks(40, 6, 6, 4, 600)
+	opt := DefaultOptions()
+	opt.Workers = 1
+	ref := mustCompare(t, b1, b2, opt)
+	opt.ShuffledSeedOrder = true
+	got := mustCompare(t, b1, b2, opt)
+	// The A4 ablation changes enumeration order only: the ordered-seed
+	// abort rule is anchor-local, so the HSP set and the final
+	// alignments must be identical.
+	if !alignmentsEqual(ref.Alignments, got.Alignments) {
+		t.Fatalf("shuffled order changed output: %d vs %d alignments",
+			len(got.Alignments), len(ref.Alignments))
+	}
+	if ref.Metrics.HitPairs != got.Metrics.HitPairs {
+		t.Errorf("hit pairs differ: %d vs %d", ref.Metrics.HitPairs, got.Metrics.HitPairs)
+	}
+}
+
+func TestSelfComparisonFindsInternalDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	segment := randSeq(rng, 300)
+	// One sequence containing the segment twice, separated by random
+	// spacers: the classic repeat a self-comparison must find.
+	s := randSeq(rng, 400) + segment + randSeq(rng, 500) + segment + randSeq(rng, 400)
+	b := mkBank("self", s)
+
+	opt := DefaultOptions()
+	opt.SkipSelfPairs = true
+	res := mustCompare(t, b, b, opt)
+
+	if len(res.Alignments) == 0 {
+		t.Fatal("self comparison found no internal duplication")
+	}
+	// The duplication must be reported exactly once (upper triangle),
+	// as an alignment of ~300 identical bases at different coordinates.
+	dup := 0
+	for _, a := range res.Alignments {
+		if a.S1 == a.S2 {
+			t.Errorf("trivial self-identity alignment reported: %+v", a)
+		}
+		if a.Length >= 250 && a.Identity() > 0.99 {
+			dup++
+			if a.S1 >= a.S2 {
+				t.Errorf("alignment not in the upper triangle: %+v", a)
+			}
+		}
+	}
+	if dup != 1 {
+		t.Errorf("duplication reported %d times, want exactly 1 (no mirror)", dup)
+	}
+}
+
+func TestSelfComparisonWithoutSkipReportsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := mkBank("self", randSeq(rng, 600))
+	res := mustCompare(t, b, b, DefaultOptions())
+	// Without SkipSelfPairs the full-length self-identity alignment is
+	// legitimately reported.
+	found := false
+	for _, a := range res.Alignments {
+		if a.S1 == a.S2 && int(a.Length) == 600 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("self-identity alignment missing without SkipSelfPairs")
+	}
+}
+
+func TestSkipSelfPairsRejectsBothStrands(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	b := mkBank("self", randSeq(rng, 300))
+	opt := DefaultOptions()
+	opt.SkipSelfPairs = true
+	opt.Strand = BothStrands
+	if _, err := Compare(b, b, opt); err == nil {
+		t.Error("SkipSelfPairs + BothStrands accepted; the triangle restriction is undefined across banks")
+	}
+}
+
+func TestSkipSelfHalvesHitPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	b := mkBank("self", randSeq(rng, 2000))
+	full := mustCompare(t, b, b, DefaultOptions())
+	opt := DefaultOptions()
+	opt.SkipSelfPairs = true
+	tri := mustCompare(t, b, b, opt)
+	// p1<p2 keeps strictly less than half of all pairs (the diagonal
+	// p1==p2 is dropped entirely).
+	if tri.Metrics.HitPairs*2 >= full.Metrics.HitPairs {
+		t.Errorf("triangle pairs %d not < half of full %d",
+			tri.Metrics.HitPairs, full.Metrics.HitPairs)
+	}
+}

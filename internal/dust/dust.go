@@ -1,0 +1,155 @@
+// Package dust implements a DUST-style low-complexity filter. The paper
+// (§2.1) optionally discards W-words in low-complexity regions from the
+// index "to eliminate non interesting alignments made of small repeats",
+// and notes (§3.4) that its filter differs from NCBI's dust [14]; this
+// implementation is the same family of algorithm: windows are scored by
+// their triplet-composition bias and high-scoring spans are masked.
+//
+// Score of a window holding triplet counts c_t over k = L-2 triplets:
+//
+//	score = Σ_t c_t(c_t-1)/2 / (k-1)
+//
+// A uniform-random window scores ≈0.5; poly-A or dinucleotide repeats
+// score far above the default threshold of 2.0 (NCBI dust "level 20").
+package dust
+
+import "repro/internal/dna"
+
+// DefaultWindow is the classic dust window size.
+const DefaultWindow = 64
+
+// DefaultThreshold corresponds to NCBI dust level 20 (score×10 > 20).
+const DefaultThreshold = 2.0
+
+// Masker holds filter parameters. The zero value is not ready; use New.
+type Masker struct {
+	// Window is the sliding-window length in bases.
+	Window int
+	// Threshold is the triplet score above which a window is masked.
+	Threshold float64
+}
+
+// New returns a Masker with the given parameters; non-positive values
+// select the defaults.
+func New(window int, threshold float64) *Masker {
+	m := &Masker{Window: window, Threshold: threshold}
+	if m.Window <= 4 {
+		m.Window = DefaultWindow
+	}
+	if m.Threshold <= 0 {
+		m.Threshold = DefaultThreshold
+	}
+	return m
+}
+
+// Interval is a half-open masked range [Start,End) in the coordinates of
+// the scanned slice.
+type Interval struct {
+	Start, End int
+}
+
+// Mask returns merged masked intervals for a coded sequence. Ambiguous
+// or sentinel bytes split the sequence into independently scanned runs
+// (and are never themselves masked — the indexer skips them anyway).
+func (m *Masker) Mask(codes []byte) []Interval {
+	var out []Interval
+	runStart := -1
+	for i := 0; i <= len(codes); i++ {
+		valid := i < len(codes) && dna.IsValid(codes[i])
+		switch {
+		case valid && runStart < 0:
+			runStart = i
+		case !valid && runStart >= 0:
+			out = appendMerged(out, m.maskRun(codes, runStart, i)...)
+			runStart = -1
+		}
+	}
+	return out
+}
+
+// maskRun scans one all-valid run [lo,hi) and returns masked intervals.
+func (m *Masker) maskRun(codes []byte, lo, hi int) []Interval {
+	n := hi - lo
+	if n < 3 {
+		return nil
+	}
+	w := m.Window
+	if w > n {
+		w = n
+	}
+	// Triplet codes for positions lo..hi-3.
+	var counts [64]int16
+	tripAt := func(p int) int {
+		return int(codes[p])<<4 | int(codes[p+1])<<2 | int(codes[p+2])
+	}
+	var out []Interval
+	// pairs = Σ c(c-1)/2, maintained incrementally.
+	pairs := 0
+	add := func(t int) {
+		pairs += int(counts[t])
+		counts[t]++
+	}
+	del := func(t int) {
+		counts[t]--
+		pairs -= int(counts[t])
+	}
+	k := w - 2 // triplets per full window
+	// Prime first window's triplets.
+	for p := lo; p < lo+k; p++ {
+		add(tripAt(p))
+	}
+	for start := lo; ; start++ {
+		denom := k - 1
+		if denom < 1 {
+			denom = 1
+		}
+		score := float64(pairs) / float64(denom)
+		if score > m.Threshold {
+			out = appendMerged(out, Interval{start, start + w})
+		}
+		if start+w >= hi {
+			break
+		}
+		del(tripAt(start))
+		add(tripAt(start + w - 2))
+	}
+	return out
+}
+
+// appendMerged appends intervals, merging overlapping/adjacent ones.
+func appendMerged(out []Interval, ivs ...Interval) []Interval {
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && iv.Start <= out[n-1].End {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// MaskBits returns a per-position masked flag for codes, convenient for
+// the indexer (a seed is discarded when any of its bases is masked).
+func (m *Masker) MaskBits(codes []byte) []bool {
+	bits := make([]bool, len(codes))
+	for _, iv := range m.Mask(codes) {
+		for i := iv.Start; i < iv.End && i < len(bits); i++ {
+			bits[i] = true
+		}
+	}
+	return bits
+}
+
+// MaskedFraction reports the fraction of positions masked.
+func (m *Masker) MaskedFraction(codes []byte) float64 {
+	if len(codes) == 0 {
+		return 0
+	}
+	n := 0
+	for _, iv := range m.Mask(codes) {
+		n += iv.End - iv.Start
+	}
+	return float64(n) / float64(len(codes))
+}

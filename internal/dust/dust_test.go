@@ -1,0 +1,180 @@
+package dust
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func maskString(t *testing.T, m *Masker, s string) []Interval {
+	t.Helper()
+	return m.Mask(dna.Encode([]byte(s)))
+}
+
+func TestPolyARunIsMasked(t *testing.T) {
+	m := New(0, 0)
+	ivs := maskString(t, m, strings.Repeat("A", 200))
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	if ivs[0].Start != 0 || ivs[0].End != 200 {
+		t.Errorf("interval = %v, want [0,200)", ivs[0])
+	}
+}
+
+func TestDinucleotideRepeatIsMasked(t *testing.T) {
+	m := New(0, 0)
+	ivs := maskString(t, m, strings.Repeat("AT", 100))
+	if len(ivs) == 0 {
+		t.Fatal("AT repeat not masked")
+	}
+}
+
+func TestTrinucleotideRepeatIsMasked(t *testing.T) {
+	m := New(0, 0)
+	ivs := maskString(t, m, strings.Repeat("CAG", 70))
+	if len(ivs) == 0 {
+		t.Fatal("CAG repeat not masked")
+	}
+}
+
+func TestRandomSequenceMostlyUnmasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	letters := []byte("ACGT")
+	s := make([]byte, 20000)
+	for i := range s {
+		s[i] = letters[rng.Intn(4)]
+	}
+	m := New(0, 0)
+	frac := m.MaskedFraction(dna.Encode(s))
+	if frac > 0.05 {
+		t.Errorf("random sequence masked fraction = %v, want < 0.05", frac)
+	}
+}
+
+func TestEmbeddedRepeatMaskedRandomContextNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	letters := []byte("ACGT")
+	mkRand := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	left, right := mkRand(500), mkRand(500)
+	s := left + strings.Repeat("A", 120) + right
+	m := New(0, 0)
+	bits := m.MaskBits(dna.Encode([]byte(s)))
+	// The center of the poly-A must be masked.
+	for p := 540; p < 580; p++ {
+		if !bits[p] {
+			t.Fatalf("poly-A center position %d unmasked", p)
+		}
+	}
+	// Positions far away must not be masked (allow the window's bleed).
+	for p := 0; p < 400; p++ {
+		if bits[p] {
+			t.Fatalf("random left-context position %d masked", p)
+		}
+	}
+}
+
+func TestShortSequencesNoPanic(t *testing.T) {
+	m := New(0, 0)
+	for _, s := range []string{"", "A", "AC", "ACG", "AAAA"} {
+		if ivs := maskString(t, m, s); len(ivs) != 0 && len(s) < 4 {
+			t.Errorf("%q masked: %v", s, ivs)
+		}
+	}
+}
+
+func TestAmbiguousBasesSplitRuns(t *testing.T) {
+	m := New(16, 2.0)
+	s := strings.Repeat("A", 40) + "N" + strings.Repeat("A", 40)
+	ivs := maskString(t, m, s)
+	// Both poly-A runs are masked; the N position (40) never is.
+	bits := m.MaskBits(dna.Encode([]byte(s)))
+	if bits[40] {
+		t.Error("N position masked")
+	}
+	if !bits[10] || !bits[60] {
+		t.Errorf("poly-A runs not masked: %v", ivs)
+	}
+}
+
+func TestIntervalsAreMergedAndSorted(t *testing.T) {
+	m := New(0, 0)
+	ivs := maskString(t, m, strings.Repeat("A", 300))
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start <= ivs[i-1].End {
+			t.Fatalf("intervals not merged: %v", ivs)
+		}
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	letters := []byte("ACGT")
+	s := make([]byte, 3000)
+	for i := range s {
+		if i/100%2 == 0 {
+			s[i] = 'A' // alternating biased and random stretches
+		} else {
+			s[i] = letters[rng.Intn(4)]
+		}
+	}
+	codes := dna.Encode(s)
+	loose := New(0, 1.0).MaskedFraction(codes)
+	strict := New(0, 4.0).MaskedFraction(codes)
+	if strict > loose {
+		t.Errorf("higher threshold masked more: strict %v > loose %v", strict, loose)
+	}
+	if loose == 0 {
+		t.Error("loose threshold masked nothing on biased input")
+	}
+}
+
+func TestMaskDeterministic(t *testing.T) {
+	s := strings.Repeat("ACGTAAAAAAAAAAAAAAAAAAAAAAAAAAAAGTCA", 10)
+	m := New(0, 0)
+	a := maskString(t, m, s)
+	b := maskString(t, m, s)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic interval count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	m := New(0, 0)
+	if m.Window != DefaultWindow || m.Threshold != DefaultThreshold {
+		t.Errorf("defaults not applied: %+v", m)
+	}
+	m = New(32, 3.5)
+	if m.Window != 32 || m.Threshold != 3.5 {
+		t.Errorf("explicit params ignored: %+v", m)
+	}
+}
+
+func BenchmarkMask1Mb(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	letters := []byte("ACGT")
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = letters[rng.Intn(4)]
+	}
+	codes := dna.Encode(s)
+	m := New(0, 0)
+	b.SetBytes(int64(len(codes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mask(codes)
+	}
+}

@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§3) plus the ablations listed in DESIGN.md §4:
+//
+//	T1       data-set table (bank name, #seq, Mbp)
+//	F3       execution time vs search space, SCORIS-N and BLASTN
+//	T2, T3   speed-up tables (EST pairs; large-bank pairs)
+//	T4–T7    sensitivity tables (SCORISmiss / BLASTmiss)
+//	X1       asymmetric 10-nt indexing (§3.4)
+//	X2       step-2/3 parallel scaling (§4)
+//	A1       ordered-seed rule vs naive + dedup
+//	A2       seed-length sweep
+//	A3       dust filter on/off
+//
+// Results are printed as markdown tables so the output can be pasted
+// into EXPERIMENTS.md verbatim. Absolute times depend on the host; the
+// claims under reproduction are the *shapes*: SCORIS-N faster
+// everywhere, speed-up growing with EST search space, and
+// low-single-digit cross-engine miss rates.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/blastn"
+	"repro/internal/core"
+	"repro/internal/sensemetric"
+	"repro/internal/simulate"
+	"repro/internal/tabular"
+)
+
+// Pair names one bank-vs-bank comparison, in the paper's "A vs B"
+// order: A is the subject/database bank, B supplies the queries.
+type Pair struct {
+	A, B simulate.PaperBank
+}
+
+func (p Pair) String() string { return fmt.Sprintf("%s vs %s", p.A, p.B) }
+
+// ESTPairs reproduces the rows of the paper's EST speed-up table and
+// figure 3, in increasing search-space order.
+var ESTPairs = []Pair{
+	{simulate.EST1, simulate.EST2},
+	{simulate.EST1, simulate.EST3},
+	{simulate.EST1, simulate.EST5},
+	{simulate.EST3, simulate.EST4},
+	{simulate.EST1, simulate.EST7},
+	{simulate.EST4, simulate.EST5},
+	{simulate.EST5, simulate.EST6},
+	{simulate.EST5, simulate.EST7},
+}
+
+// LargePairs reproduces the large-bank speed-up and sensitivity rows.
+var LargePairs = []Pair{
+	{simulate.H19, simulate.VRL},
+	{simulate.BCT, simulate.EST7},
+	{simulate.H19, simulate.BCT},
+	{simulate.BCT, simulate.VRL},
+	{simulate.H10, simulate.VRL},
+	{simulate.H10, simulate.BCT},
+}
+
+// SensLargePairs is the paper's sensitivity-table row order for large
+// banks (BCT vs EST7 first, H10 vs BCT last).
+var SensLargePairs = []Pair{
+	{simulate.BCT, simulate.EST7},
+	{simulate.BCT, simulate.VRL},
+	{simulate.H10, simulate.VRL},
+	{simulate.H19, simulate.VRL},
+	{simulate.H10, simulate.BCT},
+	{simulate.H19, simulate.BCT},
+}
+
+// Config tunes a harness run.
+type Config struct {
+	// Scale divides the paper's bank sizes (16 ⇒ ~25× smaller search
+	// spaces; see DESIGN.md §3 on the substitution).
+	Scale int
+	// Workers for the ORIS engine. The paper's prototype is
+	// single-threaded; 1 keeps the engine comparison fair.
+	Workers int
+	// Out receives markdown tables.
+	Out io.Writer
+	// Verbose adds per-run metric lines.
+	Verbose bool
+}
+
+// DefaultConfig returns the standard configuration (scale 16,
+// single-worker engines).
+func DefaultConfig(out io.Writer) Config {
+	return Config{Scale: 16, Workers: 1, Out: out}
+}
+
+// RowResult is the outcome of one pair comparison with both engines.
+type RowResult struct {
+	Pair        Pair
+	SearchSpace float64 // Mbp(A) × Mbp(B), the paper's x-axis
+	ScorisTime  time.Duration
+	BlastTime   time.Duration
+	Speedup     float64
+	Sens        sensemetric.Report
+	Scoris      core.Metrics
+	Blast       blastn.Metrics
+}
+
+// Harness generates banks once and caches pair results so that the
+// speed-up and sensitivity tables reuse the same runs, exactly as the
+// paper derives both tables from one set of executions.
+type Harness struct {
+	cfg   Config
+	ds    *simulate.DataSet
+	cache map[Pair]*RowResult
+}
+
+// New creates a harness (generating the data set eagerly).
+func New(cfg Config) *Harness {
+	if cfg.Scale < 1 {
+		cfg.Scale = 16
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	return &Harness{
+		cfg:   cfg,
+		ds:    simulate.NewDataSet(cfg.Scale),
+		cache: map[Pair]*RowResult{},
+	}
+}
+
+// DataSet exposes the generated banks.
+func (h *Harness) DataSet() *simulate.DataSet { return h.ds }
+
+func (h *Harness) printf(format string, args ...any) {
+	fmt.Fprintf(h.cfg.Out, format, args...)
+}
+
+// RunPair executes both engines on a pair (cached).
+func (h *Harness) RunPair(p Pair) *RowResult {
+	if r, ok := h.cache[p]; ok {
+		return r
+	}
+	a := h.ds.Get(p.A)
+	b := h.ds.Get(p.B)
+
+	oOpt := core.DefaultOptions()
+	oOpt.Workers = h.cfg.Workers
+	t0 := time.Now()
+	ores, err := core.Compare(a, b, oOpt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ORIS %s: %v", p, err))
+	}
+	oTime := time.Since(t0)
+
+	bOpt := blastn.DefaultOptions()
+	t0 = time.Now()
+	bres, err := blastn.Compare(a, b, bOpt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: BLASTN %s: %v", p, err))
+	}
+	bTime := time.Since(t0)
+
+	oTab := toTab(ores.Alignments, a, b)
+	bTab := toTab(bres.Alignments, a, b)
+
+	r := &RowResult{
+		Pair:        p,
+		SearchSpace: a.Mbp() * b.Mbp(),
+		ScorisTime:  oTime,
+		BlastTime:   bTime,
+		Speedup:     safeRatio(bTime, oTime),
+		Sens:        sensemetric.Compare(oTab, bTab, sensemetric.DefaultMinOverlap),
+		Scoris:      ores.Metrics,
+		Blast:       bres.Metrics,
+	}
+	h.cache[p] = r
+	if h.cfg.Verbose {
+		h.printf("<!-- %s: oris %.2fs (hsps %d, aligns %d) | blastn %.2fs (hsps %d, aligns %d) -->\n",
+			p, oTime.Seconds(), ores.Metrics.HSPs, len(ores.Alignments),
+			bTime.Seconds(), bres.Metrics.HSPs, len(bres.Alignments))
+	}
+	return r
+}
+
+func toTab(as []align.Alignment, b1, b2 *bank.Bank) []tabular.Record {
+	out := make([]tabular.Record, len(as))
+	for i := range as {
+		out[i] = tabular.FromAlignment(&as[i], b1, b2)
+	}
+	return out
+}
+
+func safeRatio(num, den time.Duration) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

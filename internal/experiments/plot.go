@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve of a scatter plot.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// AsciiPlot renders series as a fixed-size ASCII scatter plot, used to
+// reproduce figure 3 ("Execution time of SCORIS-N and BLASTN on the EST
+// banks") in a terminal- and markdown-friendly form.
+type AsciiPlot struct {
+	Width, Height  int
+	XLabel, YLabel string
+	Series         []Series
+}
+
+// Render draws the plot.
+func (p *AsciiPlot) Render() string {
+	w, h := p.Width, p.Height
+	if w < 20 {
+		w = 72
+	}
+	if h < 8 {
+		h = 20
+	}
+	var xMax, yMax float64
+	for _, s := range p.Series {
+		for i := range s.X {
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if xMax == 0 {
+		xMax = 1
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	// Head-room so the topmost point is visible.
+	xMax *= 1.05
+	yMax *= 1.05
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			col := int(s.X[i] / xMax * float64(w-1))
+			row := h - 1 - int(s.Y[i]/yMax*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", p.YLabel)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", yMax)
+		case h / 2:
+			label = fmt.Sprintf("%7.1f ", yMax/2)
+		case h - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		sb.WriteString(label)
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("        +" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&sb, "        0%*s\n", w, fmt.Sprintf("%.2f", xMax))
+	fmt.Fprintf(&sb, "        %s\n", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(&sb, "        %c = %s\n", s.Marker, s.Name)
+	}
+	return sb.String()
+}
+
+// Fig3Plot renders figure 3 itself: both engines' execution times
+// against the search-space product, from the cached pair runs.
+func (h *Harness) Fig3Plot() {
+	var scoris, blast Series
+	scoris = Series{Name: "SCORIS-N", Marker: 'o'}
+	blast = Series{Name: "BLASTN", Marker: '*'}
+	for _, p := range ESTPairs {
+		r := h.RunPair(p)
+		scoris.X = append(scoris.X, r.SearchSpace)
+		scoris.Y = append(scoris.Y, r.ScorisTime.Seconds())
+		blast.X = append(blast.X, r.SearchSpace)
+		blast.Y = append(blast.Y, r.BlastTime.Seconds())
+	}
+	plot := AsciiPlot{
+		XLabel: "Search Space (Mbp x Mbp)",
+		YLabel: "time (sec)",
+		Series: []Series{scoris, blast},
+	}
+	h.printf("### F3 (plot) — execution time vs search space\n\n")
+	h.printf("```\n%s```\n\n", plot.Render())
+}

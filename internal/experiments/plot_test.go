@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	p := AsciiPlot{
+		XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Marker: 'o', X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "b", Marker: '*', X: []float64{1, 2, 3}, Y: []float64{3, 6, 9}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o = a") || !strings.Contains(out, "* = b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "y") || !strings.Contains(out, "x") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotMonotoneSeriesRisesLeftToRight(t *testing.T) {
+	p := AsciiPlot{
+		Width: 40, Height: 10,
+		Series: []Series{{Name: "up", Marker: 'x',
+			X: []float64{1, 10}, Y: []float64{1, 10}}},
+	}
+	out := p.Render()
+	lines := strings.Split(out, "\n")
+	// Find rows containing markers; the first marker (max y) must be on
+	// an earlier line (higher on screen) at a later column.
+	type pt struct{ row, col int }
+	var pts []pt
+	for i, l := range lines {
+		// Only grid rows (label + '|' + cells); skip axis and legend.
+		bar := strings.IndexByte(l, '|')
+		if bar < 0 {
+			continue
+		}
+		for j := bar + 1; j < len(l); j++ {
+			if l[j] == 'x' {
+				pts = append(pts, pt{i, j})
+			}
+		}
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 plotted points, got %d:\n%s", len(pts), out)
+	}
+	if !(pts[0].row < pts[1].row && pts[0].col > pts[1].col) {
+		t.Errorf("rising series not rendered rising: %+v\n%s", pts, out)
+	}
+}
+
+func TestAsciiPlotEmptySeries(t *testing.T) {
+	p := AsciiPlot{Series: []Series{{Name: "empty", Marker: 'o'}}}
+	out := p.Render()
+	if out == "" {
+		t.Error("empty plot rendered nothing")
+	}
+}
+
+func TestFig3PlotEmitsFencedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	h := tinyHarness(&buf)
+	// Only run two pairs to keep the test fast: monkey-patch by running
+	// the full plot on the tiny scale (acceptable: scale 128 is quick).
+	h.Fig3Plot()
+	out := buf.String()
+	if !strings.Contains(out, "```") || !strings.Contains(out, "SCORIS-N") || !strings.Contains(out, "BLASTN") {
+		t.Errorf("Fig3 plot malformed:\n%s", out)
+	}
+}

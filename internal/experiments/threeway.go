@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/blastn"
+	"repro/internal/blat"
+	"repro/internal/core"
+	"repro/internal/sensemetric"
+	"repro/internal/simulate"
+)
+
+// ThreeWay runs E1, the comparison the paper lists as future work (§4):
+// SCORIS-N against two memory-indexed contemporaries — the classic
+// BLASTN scan and a BLAT-style tile index — on one EST pair and one
+// large pair. For each engine it reports time, alignments, and the
+// sensitivity relative to the BLASTN output (the paper's reference
+// program).
+func (h *Harness) ThreeWay() {
+	for _, p := range []Pair{
+		{simulate.EST3, simulate.EST4},
+		{simulate.H19, simulate.VRL},
+	} {
+		h.threeWayPair(p)
+	}
+}
+
+func (h *Harness) threeWayPair(p Pair) {
+	a, b := h.ds.Get(p.A), h.ds.Get(p.B)
+	h.printf("### E1 — three-way engine comparison (%s)\n\n", p)
+
+	// ORIS.
+	oOpt := core.DefaultOptions()
+	oOpt.Workers = h.cfg.Workers
+	t0 := time.Now()
+	ores, err := core.Compare(a, b, oOpt)
+	if err != nil {
+		panic(err)
+	}
+	oSecs := time.Since(t0).Seconds()
+	oTab := toTab(ores.Alignments, a, b)
+
+	// BLASTN baseline (the reference program of the paper).
+	t0 = time.Now()
+	bres, err := blastn.Compare(a, b, blastn.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	bSecs := time.Since(t0).Seconds()
+	bTab := toTab(bres.Alignments, a, b)
+
+	// BLAT-style tile engine.
+	t0 = time.Now()
+	tres, err := blat.Compare(a, b, blat.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	tSecs := time.Since(t0).Seconds()
+	tTab := toTab(tres.Alignments, a, b)
+
+	oSens := sensemetric.Compare(oTab, bTab, sensemetric.DefaultMinOverlap)
+	tSens := sensemetric.Compare(tTab, bTab, sensemetric.DefaultMinOverlap)
+
+	h.printf("| engine | time (s) | speed-up vs BLASTN | alignments | missed vs BLASTN |\n")
+	h.printf("|--------|---------:|-------------------:|-----------:|-----------------:|\n")
+	h.printf("| BLASTN (classic scan) | %.2f | 1.0 | %d | — |\n", bSecs, len(bres.Alignments))
+	h.printf("| SCORIS-N (ORIS) | %.2f | %.1f | %d | %.2f %% |\n",
+		oSecs, bSecs/oSecs, len(ores.Alignments), oSens.SCORISMissPct())
+	h.printf("| BLAT-style (tile index) | %.2f | %.1f | %d | %.2f %% |\n",
+		tSecs, bSecs/tSecs, len(tres.Alignments), tSens.SCORISMissPct())
+	h.printf("\n")
+}

@@ -1,0 +1,233 @@
+// Package fasta reads and writes FASTA-format sequence files, the input
+// format of both the ORIS pipeline and the BLASTN baseline (paper §2.1:
+// "Bank indexing is directly performed from FASTA format input files").
+//
+// The reader is streaming and tolerant: it accepts lower-case bases,
+// Windows line endings, interior blank lines, and arbitrary line widths.
+// IUPAC ambiguity characters are preserved in Record.Seq (they later
+// encode to dna.Invalid and are skipped by the indexer).
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one FASTA entry.
+type Record struct {
+	// ID is the first whitespace-delimited token of the header line,
+	// without the leading '>'.
+	ID string
+	// Desc is the remainder of the header line (may be empty).
+	Desc string
+	// Seq is the raw sequence, ASCII, with whitespace removed.
+	Seq []byte
+}
+
+// Header reconstructs the full header line content (without '>').
+func (r *Record) Header() string {
+	if r.Desc == "" {
+		return r.ID
+	}
+	return r.ID + " " + r.Desc
+}
+
+// Len returns the sequence length in bases.
+func (r *Record) Len() int { return len(r.Seq) }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	br      *bufio.Reader
+	pending []byte // header line of the next record, without '>'
+	line    int
+	done    bool
+}
+
+// NewReader returns a streaming FASTA reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record, or io.EOF when the input is exhausted.
+// A malformed file (sequence data before any header) returns an error
+// identifying the line number.
+func (r *Reader) Read() (*Record, error) {
+	if r.done && r.pending == nil {
+		return nil, io.EOF
+	}
+	header := r.pending
+	r.pending = nil
+
+	var seq []byte
+	for {
+		line, err := r.br.ReadBytes('\n')
+		if len(line) > 0 {
+			r.line++
+			line = trimEOL(line)
+			switch {
+			case len(line) == 0:
+				// skip blank lines
+			case line[0] == '>':
+				if header == nil {
+					header = append([]byte(nil), line[1:]...)
+				} else {
+					r.pending = append([]byte(nil), line[1:]...)
+					return makeRecord(header, seq)
+				}
+			case line[0] == ';':
+				// classic FASTA comment line; ignored
+			default:
+				if header == nil {
+					return nil, fmt.Errorf("fasta: line %d: sequence data before first header", r.line)
+				}
+				seq = append(seq, compact(line)...)
+			}
+		}
+		if err == io.EOF {
+			r.done = true
+			if header == nil {
+				return nil, io.EOF
+			}
+			return makeRecord(header, seq)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fasta: line %d: %w", r.line, err)
+		}
+	}
+}
+
+// ReadAll reads every remaining record.
+func (r *Reader) ReadAll() ([]*Record, error) {
+	var recs []*Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func makeRecord(header, seq []byte) (*Record, error) {
+	id, desc := splitHeader(string(header))
+	if id == "" {
+		id = "unnamed"
+	}
+	if seq == nil {
+		seq = []byte{}
+	}
+	return &Record{ID: id, Desc: desc, Seq: seq}, nil
+}
+
+func splitHeader(h string) (id, desc string) {
+	h = strings.TrimSpace(h)
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+func trimEOL(line []byte) []byte {
+	line = bytes.TrimRight(line, "\r\n")
+	return line
+}
+
+// compact removes interior whitespace from a sequence line.
+func compact(line []byte) []byte {
+	clean := line[:0]
+	for _, b := range line {
+		if b == ' ' || b == '\t' || b == '\v' || b == '\f' {
+			continue
+		}
+		clean = append(clean, b)
+	}
+	return clean
+}
+
+// ParseAll parses a whole in-memory FASTA document.
+func ParseAll(data []byte) ([]*Record, error) {
+	return NewReader(bytes.NewReader(data)).ReadAll()
+}
+
+// ReadFile reads all records from a FASTA file on disk.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Writer emits FASTA records with a fixed line width.
+type Writer struct {
+	w     *bufio.Writer
+	Width int // bases per sequence line; <=0 means a single line
+}
+
+// NewWriter returns a Writer with the conventional 70-column width.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), Width: 70}
+}
+
+// Write emits one record.
+func (w *Writer) Write(rec *Record) error {
+	if _, err := w.w.WriteString(">" + rec.Header() + "\n"); err != nil {
+		return err
+	}
+	seq := rec.Seq
+	if w.Width <= 0 {
+		if _, err := w.w.Write(seq); err != nil {
+			return err
+		}
+		return w.w.WriteByte('\n')
+	}
+	for len(seq) > 0 {
+		n := w.Width
+		if n > len(seq) {
+			n = len(seq)
+		}
+		if _, err := w.w.Write(seq[:n]); err != nil {
+			return err
+		}
+		if err := w.w.WriteByte('\n'); err != nil {
+			return err
+		}
+		seq = seq[n:]
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteFile writes records to a FASTA file, creating or truncating it.
+func WriteFile(path string, recs []*Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,456 @@
+// Package gapped implements gapped alignment extension by dynamic
+// programming with an X-drop bound (paper §2.3): "alignments are
+// constructed starting from the middle of an HSP and performing an
+// extension on both extremities by dynamic programming techniques. The
+// extension is controlled by an XDROP value… The final alignment
+// consists in merging the right and left gapped extensions."
+//
+// The DP is the classic adaptive-band affine-gap X-drop extension
+// (Zhang/Altschul, as in NCBI ALIGN_EX): rows advance along the first
+// sequence, live columns are those within XDrop of the best score seen,
+// and the band grows and shrinks as scores evolve. A per-cell traceback
+// band is kept so the caller gets exact match/mismatch/gap-open/
+// gap-base counts — the quantities the m8 output format reports.
+// Direct gap-to-gap state switches (Ix↔Iy) are disallowed, as in NCBI.
+package gapped
+
+import "repro/internal/stats"
+
+// Params controls the extension.
+type Params struct {
+	// Match reward, Mismatch/GapOpen/GapExtend penalties, all positive.
+	Match, Mismatch, GapOpen, GapExtend int32
+	// XDrop prunes cells scoring more than XDrop below the running best.
+	XDrop int32
+}
+
+// FromScoring converts a stats.Scoring plus X-drop into Params.
+func FromScoring(s stats.Scoring, xdrop int32) Params {
+	return Params{
+		Match:     int32(s.Match),
+		Mismatch:  int32(s.Mismatch),
+		GapOpen:   int32(s.GapOpen),
+		GapExtend: int32(s.GapExtend),
+		XDrop:     xdrop,
+	}
+}
+
+// Result describes one extension arm (or a merged pair). The optimal
+// path ends Len1 bases into sequence 1 and Len2 bases into sequence 2.
+type Result struct {
+	Score      int32
+	Len1, Len2 int32
+	Matches    int32
+	Mismatches int32
+	GapOpens   int32
+	// GapBases1 counts gap columns consuming sequence-1 bases (gaps in
+	// sequence 2); GapBases2 the converse.
+	GapBases1, GapBases2 int32
+}
+
+// AlignLen is the alignment length including gap columns, the "length"
+// column of m8 output.
+func (r Result) AlignLen() int32 {
+	return r.Matches + r.Mismatches + r.GapBases1 + r.GapBases2
+}
+
+// GapBases returns the total gap columns.
+func (r Result) GapBases() int32 { return r.GapBases1 + r.GapBases2 }
+
+// Identity returns the fraction of alignment columns that are matches.
+func (r Result) Identity() float64 {
+	if l := r.AlignLen(); l > 0 {
+		return float64(r.Matches) / float64(l)
+	}
+	return 0
+}
+
+// Add merges two arms that share only the anchor point.
+func (r Result) Add(o Result) Result {
+	return Result{
+		Score:      r.Score + o.Score,
+		Len1:       r.Len1 + o.Len1,
+		Len2:       r.Len2 + o.Len2,
+		Matches:    r.Matches + o.Matches,
+		Mismatches: r.Mismatches + o.Mismatches,
+		GapOpens:   r.GapOpens + o.GapOpens,
+		GapBases1:  r.GapBases1 + o.GapBases1,
+		GapBases2:  r.GapBases2 + o.GapBases2,
+	}
+}
+
+const negInf = int32(-1 << 29)
+
+// Affine DP states.
+const (
+	stM  = 0 // match/mismatch
+	stIx = 1 // gap in sequence 2 (consumes sequence 1)
+	stIy = 2 // gap in sequence 1 (consumes sequence 2)
+)
+
+// Traceback bit layout per cell (one byte):
+//
+//	bits 0-1: predecessor state of M   (stM, stIx, stIy)
+//	bit  2:   predecessor of Ix is Ix  (else M)
+//	bit  3:   predecessor of Iy is Iy  (else M)
+const (
+	tbIxExt = 1 << 2
+	tbIyExt = 1 << 3
+)
+
+// row stores one DP row's traceback band.
+type row struct {
+	lo   int32  // column of dirs[0]
+	dirs []byte // traceback bytes for columns lo..lo+len(dirs)-1
+}
+
+// arena hands out zeroed byte slices from fixed chunks, so row slices
+// remain valid for the lifetime of one extension without per-row
+// allocation.
+type arena struct {
+	chunks [][]byte
+	cur    int
+	off    int
+}
+
+func (a *arena) reset() {
+	a.cur, a.off = 0, 0
+	if len(a.chunks) == 0 {
+		a.chunks = [][]byte{make([]byte, 1<<16)}
+	}
+}
+
+func (a *arena) alloc(n int) []byte {
+	for {
+		c := a.chunks[a.cur]
+		if a.off+n <= len(c) {
+			s := c[a.off : a.off+n]
+			a.off += n
+			for i := range s {
+				s[i] = 0
+			}
+			return s
+		}
+		a.cur++
+		a.off = 0
+		if a.cur == len(a.chunks) {
+			size := 1 << 16
+			if n > size {
+				size = n
+			}
+			a.chunks = append(a.chunks, make([]byte, size))
+		}
+	}
+}
+
+// Extender runs extensions, reusing scratch buffers across calls. Not
+// safe for concurrent use; each worker goroutine owns one.
+type Extender struct {
+	prm Params
+
+	m, ix, iy    []int32
+	nm, nix, niy []int32
+	rows         []row
+	tb           arena
+	scratch      []byte
+
+	collectOps bool
+	ops        []byte
+}
+
+// Edit-path operation codes produced by the *Path methods.
+const (
+	// OpPair aligns one base of each sequence (match or mismatch).
+	OpPair byte = 'P'
+	// OpGap1 consumes a sequence-1 base against a gap in sequence 2.
+	OpGap1 byte = '1'
+	// OpGap2 consumes a sequence-2 base against a gap in sequence 1.
+	OpGap2 byte = '2'
+)
+
+// NewExtender returns an extender with the given parameters. It panics
+// on parameters that would break the DP (non-positive gap extension).
+func NewExtender(prm Params) *Extender {
+	if prm.GapExtend <= 0 || prm.Match <= 0 || prm.Mismatch <= 0 || prm.GapOpen < 0 || prm.XDrop <= 0 {
+		panic("gapped: invalid params")
+	}
+	return &Extender{prm: prm}
+}
+
+// Params returns the extension parameters.
+func (e *Extender) Params() Params { return e.prm }
+
+// ExtendRight extends from the anchor point rightwards: the first
+// aligned pair is (d1[p1], d2[p2]), and the extension may consume up to
+// hi1-p1 and hi2-p2 bases. The anchor contributes score 0.
+func (e *Extender) ExtendRight(d1, d2 []byte, p1, hi1, p2, hi2 int32) Result {
+	return e.extend(d1, d2, p1-1, p2-1, +1, hi1-p1, hi2-p2)
+}
+
+// ExtendLeft extends leftwards: the first aligned pair is
+// (d1[p1-1], d2[p2-1]), consuming up to p1-lo1 and p2-lo2 bases.
+func (e *Extender) ExtendLeft(d1, d2 []byte, p1, lo1, p2, lo2 int32) Result {
+	return e.extend(d1, d2, p1, p2, -1, p1-lo1, p2-lo2)
+}
+
+// ExtendBoth runs both arms around the anchor (m1, m2) and merges them,
+// following the paper's "middle of the HSP" seeding. The right arm
+// consumes (m1, m2) itself.
+func (e *Extender) ExtendBoth(d1, d2 []byte, m1, m2, lo1, hi1, lo2, hi2 int32) Result {
+	left := e.ExtendLeft(d1, d2, m1, lo1, m2, lo2)
+	right := e.ExtendRight(d1, d2, m1, hi1, m2, hi2)
+	return left.Add(right)
+}
+
+// ExtendRightPath is ExtendRight additionally returning the edit path
+// in left-to-right order (OpPair/OpGap1/OpGap2 per column). The slice
+// is freshly allocated and owned by the caller.
+func (e *Extender) ExtendRightPath(d1, d2 []byte, p1, hi1, p2, hi2 int32) (Result, []byte) {
+	e.collectOps = true
+	r := e.ExtendRight(d1, d2, p1, hi1, p2, hi2)
+	e.collectOps = false
+	// Traceback walks end→anchor; right-arm display order is
+	// anchor→end, so reverse.
+	ops := append([]byte(nil), e.ops...)
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+	return r, ops
+}
+
+// ExtendLeftPath is ExtendLeft with the edit path in left-to-right
+// order (traceback order is already leftmost→anchor for the left arm).
+func (e *Extender) ExtendLeftPath(d1, d2 []byte, p1, lo1, p2, lo2 int32) (Result, []byte) {
+	e.collectOps = true
+	r := e.ExtendLeft(d1, d2, p1, lo1, p2, lo2)
+	e.collectOps = false
+	return r, append([]byte(nil), e.ops...)
+}
+
+// ExtendBothPath merges the arms and their paths around the anchor.
+func (e *Extender) ExtendBothPath(d1, d2 []byte, m1, m2, lo1, hi1, lo2, hi2 int32) (Result, []byte) {
+	left, lops := e.ExtendLeftPath(d1, d2, m1, lo1, m2, lo2)
+	right, rops := e.ExtendRightPath(d1, d2, m1, hi1, m2, hi2)
+	return left.Add(right), append(lops, rops...)
+}
+
+// extend is the core banded X-drop DP. The i-th consumed base of
+// sequence 1 is d1[base1+sign*i] (i ≥ 1), likewise for sequence 2;
+// n1, n2 bound the consumable bases.
+func (e *Extender) extend(d1, d2 []byte, base1, base2, sign, n1, n2 int32) Result {
+	prm := e.prm
+	if n1 < 0 {
+		n1 = 0
+	}
+	if n2 < 0 {
+		n2 = 0
+	}
+	// chainMax bounds how far a pure Iy chain can profitably run past
+	// the previous band: each step costs GapExtend and the chain must
+	// stay within XDrop of the best.
+	chainMax := prm.XDrop/prm.GapExtend + 1
+
+	e.rows = e.rows[:0]
+	e.tb.reset()
+
+	best := int32(0)
+	bestI, bestJ, bestState := int32(0), int32(0), stM
+
+	// Row 0: only Iy (gaps in sequence 1) chained along j.
+	row0Max := chainMax
+	if row0Max > n2 {
+		row0Max = n2
+	}
+	e.ensure(row0Max + 1)
+	m, ix, iy := e.m, e.ix, e.iy
+	nm, nix, niy := e.nm, e.nix, e.niy
+	m[0], ix[0], iy[0] = 0, negInf, negInf
+	lo, hi := int32(0), int32(0)
+	g := -prm.GapOpen - prm.GapExtend
+	for j := int32(1); j <= row0Max && g >= -prm.XDrop; j++ {
+		m[j], ix[j] = negInf, negInf
+		iy[j] = g
+		g -= prm.GapExtend
+		hi = j
+	}
+	d0 := e.tb.alloc(int(hi) + 1)
+	for j := 2; j < len(d0); j++ {
+		d0[j] = tbIyExt
+	}
+	e.rows = append(e.rows, row{lo: 0, dirs: d0})
+
+	for i := int32(1); i <= n1; i++ {
+		c1 := d1[base1+sign*i]
+		jStart := lo
+		jLimit := hi + 1 // beyond this only a live Iy chain can continue
+		if jLimit > n2 {
+			jLimit = n2
+		}
+		jMax := hi + 1 + chainMax // hard bound on this row's live span
+		if jMax > n2 {
+			jMax = n2
+		}
+		e.ensure(jMax + 1)
+		m, ix, iy = e.m, e.ix, e.iy
+		nm, nix, niy = e.nm, e.nix, e.niy
+		if int(jMax-jStart)+1 > len(e.scratch) {
+			e.scratch = make([]byte, 2*(int(jMax-jStart)+1))
+		}
+		dirs := e.scratch
+		newLo, newHi := int32(-1), int32(-1)
+		for j := jStart; j <= jMax; j++ {
+			if j > jLimit && newHi < j-1 {
+				break // band and Iy chain both dead
+			}
+			var pm, pix int32 = negInf, negInf
+			if j >= lo && j <= hi {
+				pm, pix = m[j], ix[j]
+			}
+			var dm, dix, diy int32 = negInf, negInf, negInf
+			if j-1 >= lo && j-1 <= hi {
+				dm, dix, diy = m[j-1], ix[j-1], iy[j-1]
+			}
+			var dir byte
+
+			// M: diagonal move.
+			mv := negInf
+			if j >= 1 {
+				pred, ps := dm, byte(stM)
+				if dix > pred {
+					pred, ps = dix, stIx
+				}
+				if diy > pred {
+					pred, ps = diy, stIy
+				}
+				if pred > negInf/2 {
+					c2 := d2[base2+sign*j]
+					if c1 == c2 && c1 < 4 {
+						mv = pred + prm.Match
+					} else {
+						mv = pred - prm.Mismatch
+					}
+					dir |= ps
+				}
+			}
+
+			// Ix: vertical move (gap in sequence 2).
+			ixv := negInf
+			if pm > negInf/2 && pm-prm.GapOpen >= pix {
+				ixv = pm - prm.GapOpen - prm.GapExtend
+			} else if pix > negInf/2 {
+				ixv = pix - prm.GapExtend
+				dir |= tbIxExt
+			}
+
+			// Iy: horizontal move within the current row.
+			iyv := negInf
+			if j-1 >= jStart {
+				lm, liy := nm[j-1], niy[j-1]
+				if lm > negInf/2 && lm-prm.GapOpen >= liy {
+					iyv = lm - prm.GapOpen - prm.GapExtend
+				} else if liy > negInf/2 {
+					iyv = liy - prm.GapExtend
+					dir |= tbIyExt
+				}
+			}
+
+			cell, st := mv, stM
+			if ixv > cell {
+				cell, st = ixv, stIx
+			}
+			if iyv > cell {
+				cell, st = iyv, stIy
+			}
+			if cell < best-prm.XDrop {
+				mv, ixv, iyv = negInf, negInf, negInf
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j
+				if cell > best {
+					best, bestI, bestJ, bestState = cell, i, j, st
+				}
+			}
+			nm[j], nix[j], niy[j] = mv, ixv, iyv
+			dirs[j-jStart] = dir
+		}
+		if newLo < 0 {
+			break // X-drop termination
+		}
+		rowDirs := e.tb.alloc(int(newHi-jStart) + 1)
+		copy(rowDirs, dirs[:newHi-jStart+1])
+		e.rows = append(e.rows, row{lo: jStart, dirs: rowDirs})
+		lo, hi = newLo, newHi
+		e.m, e.nm = e.nm, e.m
+		e.ix, e.nix = e.nix, e.ix
+		e.iy, e.niy = e.niy, e.iy
+	}
+
+	return e.traceback(d1, d2, base1, base2, sign, bestI, bestJ, bestState, best)
+}
+
+// ensure grows all six row buffers to at least n entries, preserving
+// existing contents (the previous row's live band must survive).
+func (e *Extender) ensure(n int32) {
+	if int32(len(e.m)) >= n {
+		return
+	}
+	grow := func(s []int32) []int32 {
+		ns := make([]int32, 2*n)
+		copy(ns, s)
+		return ns
+	}
+	e.m, e.ix, e.iy = grow(e.m), grow(e.ix), grow(e.iy)
+	e.nm, e.nix, e.niy = grow(e.nm), grow(e.nix), grow(e.niy)
+}
+
+// traceback walks from the best cell back to the origin, counting
+// alignment statistics.
+func (e *Extender) traceback(d1, d2 []byte, base1, base2, sign, bi, bj int32, bst int, score int32) Result {
+	r := Result{Score: score, Len1: bi, Len2: bj}
+	if e.collectOps {
+		e.ops = e.ops[:0]
+	}
+	i, j, st := bi, bj, bst
+	for i > 0 || j > 0 {
+		rw := e.rows[i]
+		dir := rw.dirs[j-rw.lo]
+		switch st {
+		case stM:
+			a, b := d1[base1+sign*i], d2[base2+sign*j]
+			if a == b && a < 4 {
+				r.Matches++
+			} else {
+				r.Mismatches++
+			}
+			if e.collectOps {
+				e.ops = append(e.ops, OpPair)
+			}
+			st = int(dir & 3)
+			i--
+			j--
+		case stIx:
+			r.GapBases1++
+			if e.collectOps {
+				e.ops = append(e.ops, OpGap1)
+			}
+			if dir&tbIxExt == 0 {
+				r.GapOpens++
+				st = stM
+			}
+			i--
+		case stIy:
+			r.GapBases2++
+			if e.collectOps {
+				e.ops = append(e.ops, OpGap2)
+			}
+			if dir&tbIyExt == 0 {
+				r.GapOpens++
+				st = stM
+			}
+			j--
+		}
+	}
+	return r
+}

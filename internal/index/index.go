@@ -1,0 +1,166 @@
+// Package index implements the ORIS bank index of paper §2.1 / Fig. 2:
+// a dictionary of 4^W entries holding, for every possible seed code, the
+// position of its first occurrence in the bank, plus an INDEX array that
+// chains together all positions sharing the same seed. Walking
+// Head(code) → Next → Next … visits every occurrence of a seed in
+// strictly increasing position order, which step 2 of the algorithm
+// relies on (the canonical HSP generator is the *leftmost* occurrence of
+// the minimal seed).
+//
+// The index also implements the paper's two refinements:
+//
+//   - low-complexity filtering (§2.1): masked W-words are simply not
+//     inserted;
+//   - asymmetric indexing (§3.4): with SampleStep=2 only every other
+//     position of the bank is inserted, which with W=10 still catches
+//     every 11-nt match while halving the index.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/seed"
+)
+
+// Options configures index construction.
+type Options struct {
+	// W is the seed length in nucleotides (paper default 11).
+	W int
+	// Dust, when non-nil, masks low-complexity W-words out of the index.
+	Dust *dust.Masker
+	// SampleStep inserts only positions p with p % SampleStep ==
+	// SamplePhase (in bank Data coordinates). 0 or 1 means every
+	// position. SampleStep=2 is the paper's "half words" mode.
+	SampleStep int
+	// SamplePhase selects which residue class SampleStep keeps.
+	SamplePhase int
+}
+
+func (o Options) normalized() Options {
+	if o.SampleStep < 1 {
+		o.SampleStep = 1
+	}
+	o.SamplePhase %= o.SampleStep
+	if o.SamplePhase < 0 {
+		o.SamplePhase += o.SampleStep
+	}
+	return o
+}
+
+// Index is the built structure. Dict and Next use -1 as the nil link.
+type Index struct {
+	Bank *bank.Bank
+	W    int
+
+	// Dict[c] is the first (lowest) bank position whose seed code is c,
+	// or -1 if the seed does not occur.
+	Dict []int32
+	// Next[p] is the next-higher position with the same seed code as
+	// position p, or -1. Entries for non-indexed positions are -1.
+	Next []int32
+
+	// Indexed is the number of positions inserted.
+	Indexed int
+	// MaskedOut counts seed windows rejected by the dust filter.
+	MaskedOut int
+	// Sampled counts windows skipped by SampleStep.
+	SampledOut int
+
+	opts Options
+}
+
+// Build constructs the index for a bank.
+func Build(b *bank.Bank, opts Options) *Index {
+	opts = opts.normalized()
+	if opts.W < 1 || opts.W > seed.MaxW {
+		panic(fmt.Sprintf("index: invalid W=%d", opts.W))
+	}
+	n := seed.NumCodes(opts.W)
+	ix := &Index{
+		Bank: b,
+		W:    opts.W,
+		Dict: make([]int32, n),
+		Next: make([]int32, len(b.Data)),
+		opts: opts,
+	}
+	for i := range ix.Dict {
+		ix.Dict[i] = -1
+	}
+	for i := range ix.Next {
+		ix.Next[i] = -1
+	}
+
+	var maskBits []bool
+	if opts.Dust != nil {
+		maskBits = opts.Dust.MaskBits(b.Data)
+	}
+
+	// tails[c] is the last inserted position for code c; freed after
+	// the build. A single ascending scan keeps chains position-sorted.
+	tails := make([]int32, n)
+	for i := range tails {
+		tails[i] = -1
+	}
+	step := int32(opts.SampleStep)
+	phase := int32(opts.SamplePhase)
+	w := opts.W
+	seed.ForEach(b.Data, w, func(pos int32, c seed.Code) {
+		if step > 1 && pos%step != phase {
+			ix.SampledOut++
+			return
+		}
+		if maskBits != nil {
+			for q := pos; q < pos+int32(w); q++ {
+				if maskBits[q] {
+					ix.MaskedOut++
+					return
+				}
+			}
+		}
+		if t := tails[c]; t < 0 {
+			ix.Dict[c] = pos
+		} else {
+			ix.Next[t] = pos
+		}
+		tails[c] = pos
+		ix.Indexed++
+	})
+	return ix
+}
+
+// Head returns the first position of seed code c, or -1.
+func (ix *Index) Head(c seed.Code) int32 { return ix.Dict[c] }
+
+// NextPos returns the next position sharing p's seed code, or -1.
+func (ix *Index) NextPos(p int32) int32 { return ix.Next[p] }
+
+// Occurrences collects every position of code c (ascending). Intended
+// for tests and diagnostics; hot paths walk the chain directly.
+func (ix *Index) Occurrences(c seed.Code) []int32 {
+	var out []int32
+	for p := ix.Dict[c]; p >= 0; p = ix.Next[p] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// CountOccurrences walks the chain of c and returns its length.
+func (ix *Index) CountOccurrences(c seed.Code) int {
+	n := 0
+	for p := ix.Dict[c]; p >= 0; p = ix.Next[p] {
+		n++
+	}
+	return n
+}
+
+// NumCodes returns the dictionary size 4^W.
+func (ix *Index) NumCodes() int { return len(ix.Dict) }
+
+// MemoryBytes reports the footprint of Dict+Next, the "INDEX" part of
+// the paper's ≈5N bytes/bank estimate.
+func (ix *Index) MemoryBytes() int { return 4 * (len(ix.Dict) + len(ix.Next)) }
+
+// Options returns the options the index was built with.
+func (ix *Index) Options() Options { return ix.opts }

@@ -1,0 +1,116 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bank"
+	"repro/internal/fasta"
+	"repro/internal/seed"
+)
+
+// randomBank derives a bank (with occasional Ns) from fuzz input.
+func randomBank(seedVal int64, nSeqs, maxLen int) *bank.Bank {
+	rng := rand.New(rand.NewSource(seedVal))
+	letters := []byte("ACGTACGTACGTACGTN") // ~6% N
+	recs := make([]*fasta.Record, nSeqs)
+	for i := range recs {
+		n := rng.Intn(maxLen + 1)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = letters[rng.Intn(len(letters))]
+		}
+		recs[i] = &fasta.Record{ID: "r", Seq: s}
+	}
+	return bank.New("q", recs)
+}
+
+// Invariant: chains are strictly ascending, every chained position
+// encodes to its own code, and the chain total equals the number of
+// valid windows.
+func TestQuickChainInvariants(t *testing.T) {
+	f := func(seedVal int64, nRaw, wRaw uint8) bool {
+		w := int(wRaw)%6 + 3
+		b := randomBank(seedVal, int(nRaw)%6+1, 150)
+		ix := Build(b, Options{W: w})
+		total := 0
+		for c := 0; c < ix.NumCodes(); c++ {
+			prev := int32(-1)
+			for p := ix.Head(seed.Code(c)); p >= 0; p = ix.NextPos(p) {
+				if p <= prev {
+					return false
+				}
+				prev = p
+				got, ok := seed.Encode(b.Data[p:], w)
+				if !ok || got != seed.Code(c) {
+					return false
+				}
+				total++
+			}
+		}
+		return total == seed.Count(b.Data, w) && total == ix.Indexed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: sampling partitions the full index; the two phases of
+// step 2 are disjoint and their union is the full set.
+func TestQuickSamplingPartition(t *testing.T) {
+	f := func(seedVal int64, nRaw uint8) bool {
+		const w = 5
+		b := randomBank(seedVal, int(nRaw)%4+1, 200)
+		full := Build(b, Options{W: w})
+		p0 := Build(b, Options{W: w, SampleStep: 2, SamplePhase: 0})
+		p1 := Build(b, Options{W: w, SampleStep: 2, SamplePhase: 1})
+		if p0.Indexed+p1.Indexed != full.Indexed {
+			return false
+		}
+		// Every chained position in p0 has even Data coordinate.
+		for c := 0; c < p0.NumCodes(); c++ {
+			for p := p0.Head(seed.Code(c)); p >= 0; p = p0.NextPos(p) {
+				if p%2 != 0 {
+					return false
+				}
+			}
+			for p := p1.Head(seed.Code(c)); p >= 0; p = p1.NextPos(p) {
+				if p%2 != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invariant: building twice yields identical structures (determinism).
+func TestQuickBuildDeterministic(t *testing.T) {
+	f := func(seedVal int64, nRaw uint8) bool {
+		const w = 4
+		b := randomBank(seedVal, int(nRaw)%4+1, 120)
+		a := Build(b, Options{W: w})
+		c := Build(b, Options{W: w})
+		if a.Indexed != c.Indexed {
+			return false
+		}
+		for i := range a.Dict {
+			if a.Dict[i] != c.Dict[i] {
+				return false
+			}
+		}
+		for i := range a.Next {
+			if a.Next[i] != c.Next[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package render
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/gapped"
+)
+
+func mkBank(name string, seqs ...string) *bank.Bank {
+	recs := make([]*fasta.Record, len(seqs))
+	for i, s := range seqs {
+		recs[i] = &fasta.Record{ID: name + "_" + string(rune('a'+i)), Seq: []byte(s)}
+	}
+	return bank.New(name, recs)
+}
+
+func randSeq(rng *rand.Rand, n int) string {
+	letters := []byte("ACGT")
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+func mutateIndel(rng *rand.Rand, s string, pSub, pIndel float64) string {
+	letters := []byte("ACGT")
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		r := rng.Float64()
+		switch {
+		case r < pIndel/2:
+		case r < pIndel:
+			out = append(out, s[i], letters[rng.Intn(4)])
+		case r < pIndel+pSub:
+			out = append(out, letters[rng.Intn(4)])
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// search runs the ORIS engine and returns the banks, alignments and a
+// matching renderer.
+func search(t *testing.T, s1, s2 string) (*bank.Bank, *bank.Bank, *core.Result, *Renderer) {
+	t.Helper()
+	b1 := mkBank("db", s1)
+	b2 := mkBank("q", s2)
+	opt := core.DefaultOptions()
+	opt.Dust = false
+	res, err := core.Compare(b1, b2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(b1, b2, gapped.FromScoring(opt.Scoring, opt.GappedXDrop))
+	return b1, b2, res, r
+}
+
+func TestPairwiseIdenticalSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSeq(rng, 150)
+	_, _, res, r := search(t, s, s)
+	if len(res.Alignments) == 0 {
+		t.Fatal("no alignments")
+	}
+	out, err := r.Pairwise(&res.Alignments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Identities = 150/150 (100%)") {
+		t.Errorf("identity line wrong:\n%s", out)
+	}
+	// Match row must be all bars under the aligned columns.
+	if strings.Count(out, "|") != 150 {
+		t.Errorf("expected 150 match bars:\n%s", out)
+	}
+	if !strings.Contains(out, "Query  1") || !strings.Contains(out, "Sbjct  1") {
+		t.Errorf("coordinate headers missing:\n%s", out)
+	}
+}
+
+func TestPairwiseShowsSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSeq(rng, 100)
+	// force one substitution mid-sequence
+	b := []byte(s)
+	if b[50] == 'A' {
+		b[50] = 'C'
+	} else {
+		b[50] = 'A'
+	}
+	_, _, res, r := search(t, s, string(b))
+	if len(res.Alignments) == 0 {
+		t.Fatal("no alignments")
+	}
+	out, err := r.Pairwise(&res.Alignments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Identities = 99/100 (99%)") {
+		t.Errorf("identity line wrong:\n%s", out)
+	}
+}
+
+func TestPairwiseShowsGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	left := randSeq(rng, 60)
+	right := randSeq(rng, 60)
+	s1 := left + right
+	s2 := left + "ACG" + right // 3-base insertion in the query
+	_, _, res, r := search(t, s1, s2)
+	if len(res.Alignments) == 0 {
+		t.Fatal("no alignments")
+	}
+	out, err := r.Pairwise(&res.Alignments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Gaps = 3/123") {
+		t.Errorf("gap count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("no gap characters rendered:\n%s", out)
+	}
+}
+
+func TestPairwiseCoordinatesAdvanceCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSeq(rng, 200)
+	_, _, res, r := search(t, s, s)
+	r.Width = 50
+	out, err := r.Pairwise(&res.Alignments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks of 50: query lines must show 1..50, 51..100, etc.
+	for _, want := range []string{"Query  1 ", "Query  51 ", "Query  101", "Query  151"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing block header %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, " 200\n") {
+		t.Errorf("final coordinate missing:\n%s", out)
+	}
+}
+
+func TestPairwiseRandomizedPathsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		s1 := randSeq(rng, 150+rng.Intn(100))
+		s2 := mutateIndel(rng, s1, 0.05, 0.01)
+		_, _, res, r := search(t, s1, s2)
+		for i := range res.Alignments {
+			out, err := r.Pairwise(&res.Alignments[i])
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			// The rendered rows must have consistent lengths per block.
+			lines := strings.Split(out, "\n")
+			for j := 0; j+2 < len(lines); j++ {
+				if strings.HasPrefix(lines[j], "Query  ") && strings.HasPrefix(lines[j+2], "Sbjct  ") {
+					qf := strings.Fields(lines[j])
+					sf := strings.Fields(lines[j+2])
+					if len(qf) != 4 || len(sf) != 4 {
+						t.Fatalf("trial %d: malformed block lines:\n%s\n%s", trial, lines[j], lines[j+2])
+					}
+					if len(qf[2]) != len(sf[2]) {
+						t.Fatalf("trial %d: row length mismatch:\n%s\n%s", trial, lines[j], lines[j+2])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRenderAllSeparatesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g1, g2 := randSeq(rng, 120), randSeq(rng, 120)
+	b1 := mkBank("db", g1, g2)
+	b2 := mkBank("q", mutateIndel(rng, g1, 0.03, 0), mutateIndel(rng, g2, 0.03, 0))
+	opt := core.DefaultOptions()
+	res, err := core.Compare(b1, b2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alignments) < 2 {
+		t.Fatalf("want ≥2 alignments, got %d", len(res.Alignments))
+	}
+	r := New(b1, b2, gapped.FromScoring(opt.Scoring, opt.GappedXDrop))
+	out, err := r.RenderAll(res.Alignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "Query= ") != len(res.Alignments) {
+		t.Errorf("expected %d blocks:\n%s", len(res.Alignments), out)
+	}
+}
+
+func TestRenderWrongScoringFailsLoudly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randSeq(rng, 150)
+	b1 := mkBank("db", s)
+	b2 := mkBank("q", mutateIndel(rng, s, 0.08, 0.01))
+	opt := core.DefaultOptions()
+	res, err := core.Compare(b1, b2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alignments) == 0 {
+		t.Skip("no alignment to render")
+	}
+	// Renderer built with DIFFERENT scoring: the recovered path cannot
+	// reproduce the stored score, and the renderer must say so rather
+	// than print a wrong alignment.
+	bad := New(b1, b2, gapped.Params{Match: 2, Mismatch: 3, GapOpen: 5, GapExtend: 2, XDrop: 25})
+	if _, err := bad.Pairwise(&res.Alignments[0]); err == nil {
+		t.Error("mismatched scoring not detected")
+	}
+}
+
+func TestRenderMinusStrandUnsupported(t *testing.T) {
+	a := coreAlignmentWithoutAnchor()
+	r := New(mkBank("db", "ACGT"), mkBank("q", "ACGT"),
+		gapped.Params{Match: 1, Mismatch: 3, GapOpen: 5, GapExtend: 2, XDrop: 25})
+	if _, err := r.Pairwise(&a); err == nil {
+		t.Error("anchorless alignment rendered without error")
+	}
+}
+
+func coreAlignmentWithoutAnchor() (a align.Alignment) {
+	a.Minus = true
+	return a
+}

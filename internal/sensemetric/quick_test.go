@@ -1,0 +1,105 @@
+package sensemetric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tabular"
+)
+
+// randomRecords builds a reproducible random result set from quick's
+// fuzz input.
+func randomRecords(seed int64, n int) []tabular.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tabular.Record, n)
+	qnames := []string{"q1", "q2", "q3"}
+	snames := []string{"s1", "s2"}
+	for i := range out {
+		qs := 1 + rng.Intn(500)
+		ss := 1 + rng.Intn(500)
+		l := 30 + rng.Intn(300)
+		out[i] = tabular.Record{
+			Query:   qnames[rng.Intn(len(qnames))],
+			Subject: snames[rng.Intn(len(snames))],
+			QStart:  qs, QEnd: qs + l,
+			SStart: ss, SEnd: ss + l,
+		}
+	}
+	return out
+}
+
+// Reflexivity: a result set compared against itself never misses.
+func TestQuickReflexivity(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		recs := randomRecords(seed, n)
+		r := Compare(recs, recs, 0)
+		return r.SCMiss == 0 && r.BLMiss == 0 && r.SCTotal == n && r.BLTotal == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Symmetry: swapping the two sets swaps the miss counters.
+func TestQuickSymmetry(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		a := randomRecords(seedA, n)
+		b := randomRecords(seedB, n)
+		fwd := Compare(a, b, 0)
+		rev := Compare(b, a, 0)
+		return fwd.SCMiss == rev.BLMiss && fwd.BLMiss == rev.SCMiss &&
+			fwd.SCTotal == rev.BLTotal && fwd.BLTotal == rev.SCTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity: a stricter overlap threshold can only increase misses.
+func TestQuickThresholdMonotone(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		a := randomRecords(seedA, n)
+		b := randomRecords(seedB, n)
+		loose := Compare(a, b, 0.5)
+		strict := Compare(a, b, 0.95)
+		return strict.SCMiss >= loose.SCMiss && strict.BLMiss >= loose.BLMiss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Miss counts are bounded by totals.
+func TestQuickMissBounds(t *testing.T) {
+	f := func(seedA, seedB int64, nA, nB uint8) bool {
+		a := randomRecords(seedA, int(nA)%30)
+		b := randomRecords(seedB, int(nB)%30)
+		r := Compare(a, b, 0)
+		return r.SCMiss >= 0 && r.SCMiss <= r.BLTotal &&
+			r.BLMiss >= 0 && r.BLMiss <= r.SCTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adding a record to set A can never increase A's misses of B's
+// alignments (more candidates can only help).
+func TestQuickMoreCandidatesNeverHurt(t *testing.T) {
+	f := func(seedA, seedB, seedC int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		a := randomRecords(seedA, n)
+		b := randomRecords(seedB, n)
+		extra := randomRecords(seedC, 1)
+		before := Compare(a, b, 0)
+		after := Compare(append(append([]tabular.Record{}, a...), extra...), b, 0)
+		return after.SCMiss <= before.SCMiss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package tabular
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRecord derives a plausible m8 record from fuzz input.
+func randomRecord(seed int64) Record {
+	rng := rand.New(rand.NewSource(seed))
+	l := 20 + rng.Intn(2000)
+	qs := 1 + rng.Intn(5000)
+	ss := 1 + rng.Intn(5000)
+	return Record{
+		Query:      "q" + string(rune('a'+rng.Intn(26))),
+		Subject:    "s" + string(rune('a'+rng.Intn(26))),
+		PIdent:     50 + 50*rng.Float64(),
+		Length:     l,
+		Mismatches: rng.Intn(l / 2),
+		GapOpens:   rng.Intn(5),
+		QStart:     qs, QEnd: qs + l - 1,
+		SStart: ss, SEnd: ss + l - 1,
+		EValue:   math.Pow(10, -float64(rng.Intn(100))),
+		BitScore: 20 + 500*rng.Float64(),
+	}
+}
+
+// Property: String/Parse round-trips every field (floats within the
+// formatter's precision).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomRecord(seed)
+		out, err := Parse(in.String())
+		if err != nil {
+			return false
+		}
+		if out.Query != in.Query || out.Subject != in.Subject ||
+			out.Length != in.Length || out.Mismatches != in.Mismatches ||
+			out.GapOpens != in.GapOpens || out.QStart != in.QStart ||
+			out.QEnd != in.QEnd || out.SStart != in.SStart || out.SEnd != in.SEnd {
+			return false
+		}
+		if math.Abs(out.PIdent-in.PIdent) > 0.005+1e-9 {
+			return false
+		}
+		if in.EValue > 0 && math.Abs(out.EValue-in.EValue)/in.EValue > 0.01 {
+			return false
+		}
+		return math.Abs(out.BitScore-in.BitScore) <= 0.05+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Write/Read round-trips arbitrary-length record lists.
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) % 50
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(seed + int64(i))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out) != n {
+			return false
+		}
+		for i := range out {
+			if out[i].Query != recs[i].Query || out[i].Length != recs[i].Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package tabular
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/fasta"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Query: "q1", Subject: "s1",
+		PIdent: 97.50, Length: 200, Mismatches: 5, GapOpens: 1,
+		QStart: 1, QEnd: 200, SStart: 301, SEnd: 500,
+		EValue: 1.25e-57, BitScore: 370.1,
+	}
+}
+
+func TestStringFieldCount(t *testing.T) {
+	line := sampleRecord().String()
+	if n := len(strings.Split(line, "\t")); n != 12 {
+		t.Fatalf("m8 line has %d fields, want 12: %q", n, line)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := sampleRecord()
+	out, err := Parse(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Query != in.Query || out.Subject != in.Subject ||
+		out.Length != in.Length || out.Mismatches != in.Mismatches ||
+		out.GapOpens != in.GapOpens || out.QStart != in.QStart ||
+		out.QEnd != in.QEnd || out.SStart != in.SStart || out.SEnd != in.SEnd {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+	if math.Abs(out.PIdent-in.PIdent) > 0.01 {
+		t.Errorf("PIdent %v vs %v", out.PIdent, in.PIdent)
+	}
+	if math.Abs(out.EValue-in.EValue)/in.EValue > 0.02 {
+		t.Errorf("EValue %v vs %v", out.EValue, in.EValue)
+	}
+	if math.Abs(out.BitScore-in.BitScore) > 0.1 {
+		t.Errorf("BitScore %v vs %v", out.BitScore, in.BitScore)
+	}
+}
+
+func TestParseRejectsBadLines(t *testing.T) {
+	bad := []string{
+		"",
+		"only three fields here",
+		"q s 1 2 3 4 5 6 7 8 9",                  // 11 fields
+		"q s x 200 5 1 1 200 301 500 1e-5 370.1", // non-numeric pident
+		"q s 97.5 x 5 1 1 200 301 500 1e-5 370.1", // non-numeric length
+		"q s 97.5 200 5 1 1 200 301 500 zz 370.1", // non-numeric evalue
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEValueFormatting(t *testing.T) {
+	cases := []struct {
+		e    float64
+		want string
+	}{
+		{0, "0.0"},
+		{1e-120, "1.00e-120"},
+		{2.5e-8, "2.50e-08"},
+		{0.0012, "0.001"},
+		{0.5, "0.500"},
+		{3, "3.000"},
+	}
+	for _, c := range cases {
+		if got := formatEValue(c.e); got != c.want {
+			t.Errorf("formatEValue(%g) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{sampleRecord(), sampleRecord()}
+	recs[1].Query = "q2"
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Query != "q1" || out[1].Query != "q2" {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n" + sampleRecord().String() + "\n\n# trailing\n"
+	out, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("got %d records", len(out))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hits.m8")
+	if err := WriteFile(path, []Record{sampleRecord()}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Subject != "s1" {
+		t.Errorf("file round trip: %+v", out)
+	}
+}
+
+func TestFromAlignmentCoordinates(t *testing.T) {
+	b1 := bank.New("db", []*fasta.Record{
+		{ID: "subj1", Seq: []byte("ACGTACGTACGTACGTACGT")},
+		{ID: "subj2", Seq: []byte("TTTTTTTTTT")},
+	})
+	b2 := bank.New("qry", []*fasta.Record{
+		{ID: "query1", Seq: []byte("ACGTACGTACGTACGT")},
+	})
+	// Alignment over subj2[2:8] vs query1[4:10].
+	s2start, _ := b1.SeqBounds(1)
+	q1start, _ := b2.SeqBounds(0)
+	a := align.Alignment{
+		Seq1: 1, Seq2: 0,
+		S1: s2start + 2, E1: s2start + 8,
+		S2: q1start + 4, E2: q1start + 10,
+		Score: 6, Matches: 6, Length: 6,
+		EValue: 1e-4, BitScore: 12.3,
+	}
+	r := FromAlignment(&a, b1, b2)
+	if r.Query != "query1" || r.Subject != "subj2" {
+		t.Errorf("names: %+v", r)
+	}
+	// 1-based inclusive coordinates.
+	if r.SStart != 3 || r.SEnd != 8 || r.QStart != 5 || r.QEnd != 10 {
+		t.Errorf("coords: %+v", r)
+	}
+	if r.PIdent != 100 || r.Length != 6 {
+		t.Errorf("stats: %+v", r)
+	}
+}

@@ -1,0 +1,146 @@
+// Package scoris is the public API of this repository: a Go
+// reproduction of SCORIS-N, the ORIS (ORdered Index Seed) intensive DNA
+// sequence comparison system of Lavenier, "Ordered Index Seed Algorithm
+// for Intensive DNA Sequence Comparison" (HiCOMB/IPDPS 2008), together
+// with a faithful BLASTN-style baseline for the paper's benchmarks.
+//
+// Quick start:
+//
+//	bankA, _ := scoris.LoadBank("A", "a.fasta")
+//	bankB, _ := scoris.LoadBank("B", "b.fasta")
+//	res, _ := scoris.Compare(bankA, bankB, scoris.DefaultOptions())
+//	scoris.WriteM8(os.Stdout, res, bankA, bankB)
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface: bank loading, the two engines, m8 output, and the
+// sensitivity comparator used by the paper's evaluation.
+package scoris
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/blastn"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/gapped"
+	"repro/internal/render"
+	"repro/internal/sensemetric"
+	"repro/internal/tabular"
+)
+
+// Bank is an in-memory, 2-bit-encoded DNA bank (paper §2.1).
+type Bank = bank.Bank
+
+// Alignment is one gapped alignment between two bank sequences.
+type Alignment = align.Alignment
+
+// Options configures the ORIS engine (see core.Options for fields).
+type Options = core.Options
+
+// Result is the ORIS engine output: alignments plus run metrics.
+type Result = core.Result
+
+// Metrics exposes the per-step counters and timings of a run.
+type Metrics = core.Metrics
+
+// BlastnOptions configures the baseline engine.
+type BlastnOptions = blastn.Options
+
+// BlastnResult is the baseline engine output.
+type BlastnResult = blastn.Result
+
+// M8Record is one line of BLAST "-m 8" tabular output.
+type M8Record = tabular.Record
+
+// SensitivityReport holds the paper's §3.4 missed-alignment counters.
+type SensitivityReport = sensemetric.Report
+
+// Strand selection re-exports.
+const (
+	// PlusOnly searches a single strand (the paper's -S 1 mode).
+	PlusOnly = core.PlusOnly
+	// BothStrands also searches the reverse complement of bank 2.
+	BothStrands = core.BothStrands
+)
+
+// DefaultOptions returns the paper-plausible ORIS configuration
+// (W=11, +1/−3, gap 5/2, E ≤ 1e-3, dust on, single strand).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultBlastnOptions mirrors the paper's blastall invocation.
+func DefaultBlastnOptions() BlastnOptions { return blastn.DefaultOptions() }
+
+// LoadBank reads a FASTA file into a Bank.
+func LoadBank(name, path string) (*Bank, error) {
+	return bank.FromFile(name, path)
+}
+
+// ParseBank parses in-memory FASTA text into a Bank.
+func ParseBank(name string, fastaText []byte) (*Bank, error) {
+	recs, err := fasta.ParseAll(fastaText)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("scoris: bank %q: no sequences", name)
+	}
+	return bank.New(name, recs), nil
+}
+
+// Compare runs the ORIS pipeline (SCORIS-N) on two banks. Bank 1 plays
+// the subject/database role of the paper's experiments, bank 2 the
+// query role; E-values use m = bank-1 residues × n = query length.
+func Compare(bank1, bank2 *Bank, opt Options) (*Result, error) {
+	return core.Compare(bank1, bank2, opt)
+}
+
+// CompareBlastn runs the BLASTN-style baseline: one full scan of bank 1
+// per bank-2 sequence, as 2007-era blastall did.
+func CompareBlastn(bank1, bank2 *Bank, opt BlastnOptions) (*BlastnResult, error) {
+	return blastn.Compare(bank1, bank2, opt)
+}
+
+// ToM8 converts alignments to m8 records (query = bank 2 sequence,
+// subject = bank 1 sequence).
+func ToM8(alignments []Alignment, bank1, bank2 *Bank) []M8Record {
+	out := make([]M8Record, len(alignments))
+	for i := range alignments {
+		out[i] = tabular.FromAlignment(&alignments[i], bank1, bank2)
+	}
+	return out
+}
+
+// WriteM8 writes a result in BLAST -m 8 format.
+func WriteM8(w io.Writer, res *Result, bank1, bank2 *Bank) error {
+	return tabular.Write(w, ToM8(res.Alignments, bank1, bank2))
+}
+
+// WriteBlastnM8 writes a baseline result in BLAST -m 8 format.
+func WriteBlastnM8(w io.Writer, res *BlastnResult, bank1, bank2 *Bank) error {
+	return tabular.Write(w, ToM8(res.Alignments, bank1, bank2))
+}
+
+// CompareSensitivity applies the paper's 80%-overlap equivalence to two
+// m8 result sets (first argument: SCORIS-N output, second: BLASTN
+// output) and returns the missed-alignment report of §3.4.
+func CompareSensitivity(scorisOut, blastOut []M8Record) SensitivityReport {
+	return sensemetric.Compare(scorisOut, blastOut, sensemetric.DefaultMinOverlap)
+}
+
+// WritePairwise writes full BLAST-style pairwise alignment blocks (the
+// -m 0 display the paper's prototype omits). opt must be the Options
+// the result was computed with, so the alignment paths can be recovered
+// exactly. Minus-strand alignments are not renderable and produce an
+// error.
+func WritePairwise(w io.Writer, res *Result, bank1, bank2 *Bank, opt Options) error {
+	r := render.New(bank1, bank2, gapped.FromScoring(opt.Scoring, opt.GappedXDrop))
+	text, err := r.RenderAll(res.Alignments)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, text)
+	return err
+}

@@ -1,0 +1,119 @@
+package scoris
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fasta"
+)
+
+const bankAText = `>geneA shared segment
+ACGTTGCAGGTACCTTACGATTGCACGGTACGTTAACGGTACCATGGATCCAAGCTTGCA
+TCGATGCATGCTAGCTAGCTAGGATCCTCTAGAGTCGACCTGCAGGCATGCAAGCTTGGC
+ACTGGCCGTCGTTTTACAACGTCGTGACTGGGAAAACCCTGGCGTTACCCAACTTAATCG
+>geneB another segment
+CCTTGCGCAGCTGTGCTCGACGTTGTCACTGAAGCGGGAAGGGACTGGCTGCTATTGGGC
+GAAGTGCCGGGGCAGGATCTCCTGTCATCTCACCTTGCTCCTGCCGAGAAAGTATCCATC
+`
+
+// mutated copy of geneA's first two lines (a few substitutions).
+const bankBText = `>readA1 mutated copy of geneA
+ACGTTGCAGGTACCTTACGATTGCACGGTACGTAAACGGTACCATGGATCCAAGCTTGCA
+TCGATGCATGCTAGCTAGCTAGGATCGTCTAGAGTCGACCTGCAGGCATGCAAGCTTGGC
+>readX random unrelated
+TGCAGTCCTCGCTCACTGACTCGCTGCGCTCGGTCGTTCGGCTGCGGCGAGCGGTATCAG
+CTCACTCAAAGGCGGTAATACGGTTATCCACAGAATCAGGGGATAACGCAGGAAAGAACA
+`
+
+func mustParse(t *testing.T, name, text string) *Bank {
+	t.Helper()
+	b, err := ParseBank(name, []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEndToEndCompare(t *testing.T) {
+	b1 := mustParse(t, "A", bankAText)
+	b2 := mustParse(t, "B", bankBText)
+	res, err := Compare(b1, b2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alignments) == 0 {
+		t.Fatal("no alignments found for a planted homology")
+	}
+	a := res.Alignments[0]
+	if b1.SeqID(int(a.Seq1)) != "geneA" {
+		t.Errorf("subject = %s, want geneA", b1.SeqID(int(a.Seq1)))
+	}
+	if b2.SeqID(int(a.Seq2)) != "readA1" {
+		t.Errorf("query = %s, want readA1", b2.SeqID(int(a.Seq2)))
+	}
+	if a.Identity() < 0.95 {
+		t.Errorf("identity %v too low", a.Identity())
+	}
+}
+
+func TestEndToEndM8Output(t *testing.T) {
+	b1 := mustParse(t, "A", bankAText)
+	b2 := mustParse(t, "B", bankBText)
+	res, err := Compare(b1, b2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteM8(&buf, res, b1, b2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Alignments) {
+		t.Fatalf("%d m8 lines for %d alignments", len(lines), len(res.Alignments))
+	}
+	for _, l := range lines {
+		if n := len(strings.Split(l, "\t")); n != 12 {
+			t.Errorf("line has %d fields: %q", n, l)
+		}
+	}
+}
+
+func TestEnginesAgreeOnM8Footprints(t *testing.T) {
+	b1 := mustParse(t, "A", bankAText)
+	b2 := mustParse(t, "B", bankBText)
+	ores, err := Compare(b1, b2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := CompareBlastn(b1, b2, DefaultBlastnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareSensitivity(ToM8(ores.Alignments, b1, b2), ToM8(bres.Alignments, b1, b2))
+	if rep.SCMiss != 0 || rep.BLMiss != 0 {
+		t.Errorf("engines disagree on a clean homology: %+v", rep)
+	}
+}
+
+func TestLoadBankFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.fa")
+	if err := fasta.WriteFile(path, []*fasta.Record{{ID: "s", Seq: []byte("ACGTACGTACGT")}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBank("A", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumSeqs() != 1 || b.TotalBases() != 12 {
+		t.Errorf("loaded bank: %d seqs, %d bases", b.NumSeqs(), b.TotalBases())
+	}
+}
+
+func TestParseBankRejectsEmpty(t *testing.T) {
+	if _, err := ParseBank("x", nil); err == nil {
+		t.Error("empty bank accepted")
+	}
+}
