@@ -162,9 +162,11 @@ func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
 			continue
 		}
 		gen++
-		var maskBits []bool
+		// maskPfx[i] counts masked query positions before i, making the
+		// per-window dust test one subtraction instead of a W-bit scan.
+		var maskPfx []int32
 		if masker != nil {
-			maskBits = masker.MaskBits(queries.Data[qLo:qHi])
+			maskPfx = masker.MaskPrefix(queries.Data[qLo:qHi])
 		}
 
 		// ---- scan the query against the tile index ----
@@ -173,15 +175,16 @@ func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
 		diagOff := qHi - qLo
 		seed.ForEach(queries.Data[qLo:qHi], opt.W, func(rel int32, c seed.Code) {
 			met.QueryPositions++
-			if maskBits != nil {
-				for q := rel; q < rel+w; q++ {
-					if maskBits[q] {
-						return
-					}
-				}
+			if maskPfx != nil && maskPfx[rel+w] != maskPfx[rel] {
+				return
 			}
 			qPos := qLo + rel
-			for p := ix.Head(c); p >= 0; p = ix.NextPos(p) {
+			// The tile occurrences are one contiguous CSR slice with
+			// precomputed bounds, so the inner probe loop is flat
+			// sequential reads instead of a Head/NextPos chain walk.
+			tLo, tHi := ix.OccRange(c)
+			for k := tLo; k < tHi; k++ {
+				p := ix.Pos[k]
 				met.TileHits++
 				diag := p - rel + diagOff
 				if diagGen[diag] == gen && diagEnd[diag] > p {
@@ -189,9 +192,7 @@ func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
 					continue
 				}
 				met.Extensions++
-				s1 := db.SeqAt(p)
-				lo1, hi1 := db.SeqBounds(int(s1))
-				h, _ := ext.Extend(d1, d2, p, qPos, lo1, hi1, qLo, qHi, c, nil)
+				h, _ := ext.Extend(d1, d2, p, qPos, ix.OccLo[k], ix.OccHi[k], qLo, qHi, c, nil)
 				diagGen[diag] = gen
 				diagEnd[diag] = h.E1
 				if h.Score >= opt.MinUngappedScore {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/simulate"
+)
+
+// benchBanks builds the BenchScale EST pair used by the step-2
+// benchmarks (the same EST3×EST4 pair as the top-level engine bench).
+func benchBanks(b *testing.B) (*simulate.DataSet, Options) {
+	b.Helper()
+	ds := simulate.NewDataSet(64)
+	opt := DefaultOptions()
+	opt.Workers = 1
+	return ds, opt
+}
+
+// BenchmarkStep2_EndToEnd measures step 2 alone — index both banks once,
+// then time the ordered hit-extension sweep over all 4^W seed codes.
+// ns/op and allocs/op here are the headline numbers of the CSR refactor
+// (CHANGES.md records before/after).
+func BenchmarkStep2_EndToEnd(b *testing.B) {
+	ds, opt := benchBanks(b)
+	b1, b2 := ds.Get(simulate.EST3), ds.Get(simulate.EST4)
+	ix1 := index.Build(b1, index.Options{W: opt.W})
+	ix2 := index.Build(b2, index.Options{W: opt.W})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hsps, _ := step2(b1, b2, ix1, ix2, opt)
+		if len(hsps) == 0 {
+			b.Fatal("no HSPs")
+		}
+	}
+}
+
+// BenchmarkCompare_EndToEnd measures the full four-step pipeline on the
+// same pair, the denominator that bounds how much a step-2 win can move
+// whole-run latency.
+func BenchmarkCompare_EndToEnd(b *testing.B) {
+	ds, opt := benchBanks(b)
+	b1, b2 := ds.Get(simulate.EST3), ds.Get(simulate.EST4)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(b1, b2, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompare_Scale16 runs the same pair at the experiment-harness
+// scale (divisor 16, banks ~4× the BenchScale size), where step 2
+// dominates and the one-time index build cost is better amortized.
+func BenchmarkCompare_Scale16(b *testing.B) {
+	ds := simulate.NewDataSet(16)
+	opt := DefaultOptions()
+	opt.Workers = 1
+	b1, b2 := ds.Get(simulate.EST3), ds.Get(simulate.EST4)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(b1, b2, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

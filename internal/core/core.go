@@ -198,11 +198,10 @@ func Compare(b1, b2 *bank.Bank, opt Options) (*Result, error) {
 		// bank-2 records: offsets reflect within each sequence.
 		for i := range rcRes.Alignments {
 			a := &rcRes.Alignments[i]
-			lo, hi := rc.SeqBounds(int(a.Seq2))
+			_, hi := rc.SeqBounds(int(a.Seq2))
 			oLo, _ := b2.SeqBounds(int(a.Seq2))
 			s := oLo + (hi - a.E2)
 			e := oLo + (hi - a.S2)
-			_ = lo
 			a.S2, a.E2 = s, e
 			// The anchor refers to the discarded reverse-complement bank;
 			// clear it so render reports "no anchor" instead of garbage.
@@ -319,18 +318,35 @@ func workerCount(opt Options) int {
 	return w
 }
 
-// step2 enumerates all 4^W seed codes in ascending order, split into
+// step2 enumerates the seed codes in ascending order, split into
 // contiguous chunks claimed by workers via an atomic counter. The
 // ordered rule makes every HSP globally unique, so workers need no
 // coordination (paper §4).
+//
+// The normal path walks ix1's occupied-code directory (index.Codes)
+// instead of all 4^W dictionary entries: codes absent from bank 1
+// produce no hit pairs, and at any realistic bank size the dictionary
+// is overwhelmingly empty, so the directory sweep removes millions of
+// wasted Starts probes per run. Per-worker order stays ascending, which
+// is all the ordered-rule uniqueness proof needs. The A4 ablation
+// (ShuffledSeedOrder) keeps the full 4^W sweep so its fixed permutation
+// of the whole code space is preserved.
 func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, step2Result) {
-	numCodes := seed.NumCodes(opt.W)
+	// The unit of work: either an index into ix1.Codes (directory walk)
+	// or a raw code (shuffled full sweep).
+	domain := len(ix1.Codes)
+	if opt.ShuffledSeedOrder {
+		domain = seed.NumCodes(opt.W)
+	}
 	workers := workerCount(opt)
 	numChunks := workers * 16
-	if numChunks > numCodes {
-		numChunks = numCodes
+	if numChunks > domain {
+		numChunks = domain
 	}
-	chunkSize := (numCodes + numChunks - 1) / numChunks
+	if numChunks == 0 {
+		return nil, step2Result{}
+	}
+	chunkSize := (domain + numChunks - 1) / numChunks
 
 	results := make([]step2Result, workers)
 	var next atomic.Int64
@@ -353,53 +369,62 @@ func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, st
 			}
 			r := &results[wid]
 			d1, d2 := b1.Data, b2.Data
-			// occ2 caches bank-2 occurrences (with bounds) per seed so
-			// the X1×X2 inner product does not redo bounds lookups.
-			type occ struct{ p, lo, hi int32 }
-			var occ2 []occ
+
+			// doCode runs the X1×X2 inner product for one seed code.
+			// Both occurrence lists are contiguous CSR slice views with
+			// precomputed bounds sidecars: flat sequential reads, no
+			// pointer chasing and no per-hit Bank lookups.
+			doCode := func(code seed.Code) {
+				s1, e1 := ix1.OccRange(code)
+				if s1 == e1 {
+					return
+				}
+				s2, e2 := ix2.OccRange(code)
+				if s2 == e2 {
+					return
+				}
+				pos2 := ix2.Pos[s2:e2]
+				lo2 := ix2.OccLo[s2:e2]
+				hi2 := ix2.OccHi[s2:e2]
+				for i1 := s1; i1 < e1; i1++ {
+					p1 := ix1.Pos[i1]
+					lo1, hi1 := ix1.OccLo[i1], ix1.OccHi[i1]
+					for j, p2 := range pos2 {
+						if opt.SkipSelfPairs && p2 <= p1 {
+							continue
+						}
+						r.hitPairs++
+						h, ok := ext.Extend(d1, d2, p1, p2, lo1, hi1, lo2[j], hi2[j], code, &r.stats)
+						if ok && h.Score >= opt.MinUngappedScore {
+							r.hsps = append(r.hsps, h)
+						}
+					}
+				}
+			}
+
 			for {
 				chunk := int(next.Add(1)) - 1
 				if chunk >= numChunks {
 					return
 				}
-				loCode := chunk * chunkSize
-				hiCode := loCode + chunkSize
-				if hiCode > numCodes {
-					hiCode = numCodes
+				lo := chunk * chunkSize
+				hi := lo + chunkSize
+				if hi > domain {
+					hi = domain
 				}
-				for c := loCode; c < hiCode; c++ {
-					code := seed.Code(c)
-					if opt.ShuffledSeedOrder {
+				if lo >= hi {
+					continue
+				}
+				if opt.ShuffledSeedOrder {
+					for c := lo; c < hi; c++ {
 						// Fixed odd-multiplier permutation of the code
 						// space (a bijection mod the power-of-two size):
 						// same seeds, destroyed enumeration locality.
-						code = seed.Code(uint32(c) * 0x9E3779B1 & uint32(numCodes-1))
+						doCode(seed.Code(uint32(c) * 0x9E3779B1 & uint32(domain-1)))
 					}
-					h1 := ix1.Head(code)
-					if h1 < 0 {
-						continue
-					}
-					h2 := ix2.Head(code)
-					if h2 < 0 {
-						continue
-					}
-					occ2 = occ2[:0]
-					for p2 := h2; p2 >= 0; p2 = ix2.NextPos(p2) {
-						lo2, hi2 := b2.SeqBounds(int(b2.SeqAt(p2)))
-						occ2 = append(occ2, occ{p2, lo2, hi2})
-					}
-					for p1 := h1; p1 >= 0; p1 = ix1.NextPos(p1) {
-						lo1, hi1 := b1.SeqBounds(int(b1.SeqAt(p1)))
-						for _, o2 := range occ2 {
-							if opt.SkipSelfPairs && o2.p <= p1 {
-								continue
-							}
-							r.hitPairs++
-							h, ok := ext.Extend(d1, d2, p1, o2.p, lo1, hi1, o2.lo, o2.hi, code, &r.stats)
-							if ok && h.Score >= opt.MinUngappedScore {
-								r.hsps = append(r.hsps, h)
-							}
-						}
+				} else {
+					for _, code := range ix1.Codes[lo:hi] {
+						doCode(code)
 					}
 				}
 			}

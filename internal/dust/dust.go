@@ -142,6 +142,22 @@ func (m *Masker) MaskBits(codes []byte) []bool {
 	return bits
 }
 
+// MaskPrefix returns a prefix count of masked positions: pfx[i] is the
+// number of masked positions before i, so a window [p,p+w) is clean iff
+// pfx[p+w] == pfx[p] — the O(1) per-window test the indexer and the
+// BLAT query scan use instead of scanning w mask bits.
+func (m *Masker) MaskPrefix(codes []byte) []int32 {
+	bits := m.MaskBits(codes)
+	pfx := make([]int32, len(bits)+1)
+	for i, masked := range bits {
+		pfx[i+1] = pfx[i]
+		if masked {
+			pfx[i+1]++
+		}
+	}
+	return pfx
+}
+
 // MaskedFraction reports the fraction of positions masked.
 func (m *Masker) MaskedFraction(codes []byte) float64 {
 	if len(codes) == 0 {

@@ -30,13 +30,13 @@ func runStep2(b1, b2 *bank.Bank, w int, xdrop int32, ordered bool) ([]HSP, Stats
 	var out []HSP
 	for c := 0; c < ix1.NumCodes(); c++ {
 		code := seed.Code(c)
-		for p1 := ix1.Head(code); p1 >= 0; p1 = ix1.NextPos(p1) {
-			s1 := b1.SeqAt(p1)
-			lo1, hi1 := b1.SeqBounds(int(s1))
-			for p2 := ix2.Head(code); p2 >= 0; p2 = ix2.NextPos(p2) {
-				s2 := b2.SeqAt(p2)
-				lo2, hi2 := b2.SeqBounds(int(s2))
-				if h, ok := ext.Extend(b1.Data, b2.Data, p1, p2, lo1, hi1, lo2, hi2, code, &st); ok {
+		s1, e1 := ix1.OccRange(code)
+		for i1 := s1; i1 < e1; i1++ {
+			p1 := ix1.Pos[i1]
+			lo1, hi1 := ix1.OccLo[i1], ix1.OccHi[i1]
+			s2, e2 := ix2.OccRange(code)
+			for i2 := s2; i2 < e2; i2++ {
+				if h, ok := ext.Extend(b1.Data, b2.Data, p1, ix2.Pos[i2], lo1, hi1, ix2.OccLo[i2], ix2.OccHi[i2], code, &st); ok {
 					out = append(out, h)
 				}
 			}

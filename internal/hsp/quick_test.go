@@ -99,9 +99,10 @@ func TestQuickSampledOrderedLosesNoDiagonals(t *testing.T) {
 				Ordered: ordered, SampleStep: 2}
 			var out []HSP
 			for c := 0; c < ix1.NumCodes(); c++ {
-				for p1 := ix1.Head(codeOf(c)); p1 >= 0; p1 = ix1.NextPos(p1) {
-					lo1, hi1 := b1.SeqBounds(int(b1.SeqAt(p1)))
-					for p2 := ix2.Head(codeOf(c)); p2 >= 0; p2 = ix2.NextPos(p2) {
+				lo, hi := ix1.OccRange(codeOf(c))
+				for i1 := lo; i1 < hi; i1++ {
+					p1, lo1, hi1 := ix1.Pos[i1], ix1.OccLo[i1], ix1.OccHi[i1]
+					for _, p2 := range ix2.Occ(codeOf(c)) {
 						lo2, hi2 := b2.SeqBounds(int(b2.SeqAt(p2)))
 						if h, ok := ext.Extend(b1.Data, b2.Data, p1, p2, lo1, hi1, lo2, hi2, codeOf(c), nil); ok {
 							out = append(out, h)

@@ -1,0 +1,139 @@
+package index
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/fasta"
+	"repro/internal/simulate"
+)
+
+func benchBank(n int) *bank.Bank {
+	rng := rand.New(rand.NewSource(1))
+	letters := []byte("ACGT")
+	sb := make([]byte, n)
+	for i := range sb {
+		sb[i] = letters[rng.Intn(4)]
+	}
+	return bank.New("bench", []*fasta.Record{{ID: "r", Seq: sb}})
+}
+
+// BenchmarkIndexBuild measures the two-pass counting-sort build on a
+// 1 Mb bank at W=11, serial vs all-cores parallel, against the legacy
+// linked-chain build (the pre-CSR implementation, which computed no
+// occupied-code directory and no bounds sidecar) as the same-machine
+// baseline.
+func BenchmarkIndexBuild(b *testing.B) {
+	bk := benchBank(1 << 20)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(1 << 20)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Build(bk, Options{W: 11, Workers: tc.workers})
+			}
+		})
+	}
+	b.Run("legacyChain", func(b *testing.B) {
+		b.SetBytes(1 << 20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildChainRef(bk, Options{W: 11})
+		}
+	})
+}
+
+// BenchmarkIndexScan_CSRvsChain times the step-2 scan shape — walk the
+// occupied seed codes in ascending order and enumerate every X1×X2 hit
+// pair with its sequence bounds — on the BenchScale EST workload (the
+// divisor-64 EST7×EST6 pair, the largest of the EST series the
+// top-level table benches sweep), without the extension work, so the
+// index access pattern is all that is measured. Both variants iterate
+// the same precomputed occupied-code list: the empty-dictionary sweep
+// is layout-independent, and the CSR index provides the directory for
+// free, so giving it to the chain side too is conservative.
+//
+// "Chain" reproduces the pre-CSR hot loop verbatim: walk the bank-1
+// Dict/Next chain, rematerialize the bank-2 occurrences into an occ2
+// cache, and call Bank.SeqAt/SeqBounds per occurrence. "CSR" is the
+// current loop: two contiguous slice views plus the precomputed bounds
+// sidecar. The ratio is the cache-locality + precomputation win.
+func BenchmarkIndexScan_CSRvsChain(b *testing.B) {
+	ds := simulate.NewDataSet(64)
+	b1, b2 := ds.Get(simulate.EST7), ds.Get(simulate.EST6)
+	const w = 11
+	ix1 := Build(b1, Options{W: w})
+	ix2 := Build(b2, Options{W: w})
+	ref1 := buildChainRef(b1, Options{W: w})
+	ref2 := buildChainRef(b2, Options{W: w})
+	codes := ix1.Codes
+
+	var chainPairs, csrPairs int64
+	b.Run("Chain", func(b *testing.B) {
+		var sink, pairs int64
+		type occ struct{ p, lo, hi int32 }
+		var occ2 []occ
+		for i := 0; i < b.N; i++ {
+			pairs = 0
+			for _, c := range codes {
+				h1 := ref1.dict[c]
+				h2 := ref2.dict[c]
+				if h2 < 0 {
+					continue
+				}
+				occ2 = occ2[:0]
+				for p2 := h2; p2 >= 0; p2 = ref2.next[p2] {
+					lo2, hi2 := b2.SeqBounds(int(b2.SeqAt(p2)))
+					occ2 = append(occ2, occ{p2, lo2, hi2})
+				}
+				for p1 := h1; p1 >= 0; p1 = ref1.next[p1] {
+					lo1, hi1 := b1.SeqBounds(int(b1.SeqAt(p1)))
+					for _, o2 := range occ2 {
+						pairs++
+						sink += int64(p1 + o2.p + lo1 + hi1 + o2.lo + o2.hi)
+					}
+				}
+			}
+		}
+		benchSink, chainPairs = sink, pairs
+	})
+	b.Run("CSR", func(b *testing.B) {
+		var sink, pairs int64
+		for i := 0; i < b.N; i++ {
+			pairs = 0
+			for _, code := range codes {
+				s1, e1 := ix1.OccRange(code)
+				s2, e2 := ix2.OccRange(code)
+				if s2 == e2 {
+					continue
+				}
+				pos2 := ix2.Pos[s2:e2]
+				lo2 := ix2.OccLo[s2:e2]
+				hi2 := ix2.OccHi[s2:e2]
+				for i1 := s1; i1 < e1; i1++ {
+					p1 := ix1.Pos[i1]
+					lo1, hi1 := ix1.OccLo[i1], ix1.OccHi[i1]
+					for j, p2 := range pos2 {
+						pairs++
+						sink += int64(p1 + p2 + lo1 + hi1 + lo2[j] + hi2[j])
+					}
+				}
+			}
+		}
+		benchSink, csrPairs = sink, pairs
+	})
+	// Only comparable when a -bench filter didn't skip one variant.
+	if chainPairs != 0 && csrPairs != 0 && chainPairs != csrPairs {
+		b.Fatalf("scan mismatch: chain saw %d pairs, CSR %d", chainPairs, csrPairs)
+	}
+}
+
+var benchSink int64

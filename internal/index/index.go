@@ -1,16 +1,31 @@
-// Package index implements the ORIS bank index of paper §2.1 / Fig. 2:
-// a dictionary of 4^W entries holding, for every possible seed code, the
-// position of its first occurrence in the bank, plus an INDEX array that
-// chains together all positions sharing the same seed. Walking
-// Head(code) → Next → Next … visits every occurrence of a seed in
-// strictly increasing position order, which step 2 of the algorithm
-// relies on (the canonical HSP generator is the *leftmost* occurrence of
-// the minimal seed).
+// Package index implements the ORIS bank index of paper §2.1 / Fig. 2
+// as a CSR (compressed sparse row) table built by counting sort: a
+// prefix-sum array Starts of 4^W+1 entries plus one flat, cache-
+// contiguous occurrence array Pos holding every indexed position,
+// grouped by seed code and position-sorted inside each group. Occ(code)
+// is a contiguous []int32 slice view, so step 2's sweep over the seed
+// codes reads the occurrence lists sequentially — the paper's whole
+// speed argument ("all the portions of sequence having the same seed
+// are implicitly and simultaneously moved into the cache") realized as
+// an actual memory layout instead of the linked Dict/Next chains the
+// seed implementation pointer-chased (see DESIGN.md §2).
 //
-// The index also implements the paper's two refinements:
+// Per-occurrence sidecar arrays (OccSeq, OccLo, OccHi) precompute the
+// owning sequence and its Data bounds so the hot extension loops never
+// call Bank.SeqAt/SeqBounds per hit pair.
+//
+// The build is two parallel passes over disjoint bank ranges: sharded
+// count → serial prefix sum (which also turns the per-shard counts into
+// scatter cursors) → sharded scatter. The output is canonical — byte-
+// identical for any worker count — because shards cover ascending
+// position ranges and the prefix sum orders each shard's cursor block
+// after all lower shards' occurrences of the same code.
+//
+// The index keeps the paper's two refinements:
 //
 //   - low-complexity filtering (§2.1): masked W-words are simply not
-//     inserted;
+//     inserted; the mask test is O(1) per window via a prefix-sum of
+//     masked positions;
 //   - asymmetric indexing (§3.4): with SampleStep=2 only every other
 //     position of the bank is inserted, which with W=10 still catches
 //     every 11-nt match while halving the index.
@@ -18,6 +33,9 @@ package index
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/bank"
 	"repro/internal/dust"
@@ -36,6 +54,9 @@ type Options struct {
 	SampleStep int
 	// SamplePhase selects which residue class SampleStep keeps.
 	SamplePhase int
+	// Workers bounds build parallelism; 0 means GOMAXPROCS. The built
+	// index is identical for every worker count.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -49,26 +70,84 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// Index is the built structure. Dict and Next use -1 as the nil link.
+// Index is the built CSR structure.
 type Index struct {
 	Bank *bank.Bank
 	W    int
 
-	// Dict[c] is the first (lowest) bank position whose seed code is c,
-	// or -1 if the seed does not occur.
-	Dict []int32
-	// Next[p] is the next-higher position with the same seed code as
-	// position p, or -1. Entries for non-indexed positions are -1.
-	Next []int32
+	// Starts is the CSR prefix-sum array, length 4^W+1: the occurrences
+	// of code c live in Pos[Starts[c]:Starts[c+1]], ascending.
+	Starts []int32
+	// Pos is the flat occurrence array, length Indexed.
+	Pos []int32
+
+	// Codes lists the occupied seed codes in ascending order — the
+	// directory a step-2-style sweep iterates instead of scanning all
+	// 4^W dictionary entries (most of which are empty at any realistic
+	// bank size). Built for free during the prefix-sum pass.
+	Codes []seed.Code
+
+	// OccSeq[i], OccLo[i], OccHi[i] are the owning sequence of Pos[i]
+	// and its half-open Data bounds, precomputed so hit loops skip the
+	// per-position Bank lookups.
+	OccSeq []int32
+	OccLo  []int32
+	OccHi  []int32
 
 	// Indexed is the number of positions inserted.
 	Indexed int
 	// MaskedOut counts seed windows rejected by the dust filter.
 	MaskedOut int
-	// Sampled counts windows skipped by SampleStep.
+	// SampledOut counts windows skipped by SampleStep.
 	SampledOut int
 
 	opts Options
+}
+
+// minParallelData is the bank size below which the build stays serial;
+// goroutine + shard bookkeeping costs more than it saves under ~64 KB.
+const minParallelData = 1 << 16
+
+// countBudgetBytes caps the transient per-shard count buffers
+// (4·4^W bytes each), bounding build memory for large W.
+const countBudgetBytes = 256 << 20
+
+// buildWorkers picks the shard count for a build.
+func buildWorkers(opts Options, dataLen, numCodes int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if dataLen < minParallelData {
+		return 1
+	}
+	if most := countBudgetBytes / (4 * numCodes); w > most {
+		w = most
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanRange reports every valid W-window starting in Data positions
+// [lo,hi). The scan reads ahead up to W-1 bytes past hi so windows that
+// straddle a shard cut are still seen by exactly one shard (the one
+// owning their start position).
+func scanRange(data []byte, w, lo, hi int, fn func(pos int32, c seed.Code)) {
+	end := hi + w - 1
+	if end > len(data) {
+		end = len(data)
+	}
+	base := int32(lo)
+	seed.ForEach(data[lo:end], w, func(rel int32, c seed.Code) {
+		fn(base+rel, c)
+	})
+}
+
+// shardTally carries one shard's pass-1 counters.
+type shardTally struct {
+	indexed, masked, sampled int
 }
 
 // Build constructs the index for a bank.
@@ -79,88 +158,231 @@ func Build(b *bank.Bank, opts Options) *Index {
 	}
 	n := seed.NumCodes(opts.W)
 	ix := &Index{
-		Bank: b,
-		W:    opts.W,
-		Dict: make([]int32, n),
-		Next: make([]int32, len(b.Data)),
-		opts: opts,
-	}
-	for i := range ix.Dict {
-		ix.Dict[i] = -1
-	}
-	for i := range ix.Next {
-		ix.Next[i] = -1
+		Bank:   b,
+		W:      opts.W,
+		Starts: make([]int32, n+1),
+		opts:   opts,
 	}
 
-	var maskBits []bool
+	// O(N) dust preprocessing: a prefix count of masked positions makes
+	// the per-window test a single subtraction instead of a W-bit scan.
+	var maskPfx []int32
 	if opts.Dust != nil {
-		maskBits = opts.Dust.MaskBits(b.Data)
+		maskPfx = opts.Dust.MaskPrefix(b.Data)
 	}
 
-	// tails[c] is the last inserted position for code c; freed after
-	// the build. A single ascending scan keeps chains position-sorted.
-	tails := make([]int32, n)
-	for i := range tails {
-		tails[i] = -1
-	}
+	data := b.Data
+	w := opts.W
+	w32 := int32(w)
 	step := int32(opts.SampleStep)
 	phase := int32(opts.SamplePhase)
-	w := opts.W
-	seed.ForEach(b.Data, w, func(pos int32, c seed.Code) {
-		if step > 1 && pos%step != phase {
-			ix.SampledOut++
-			return
+
+	workers := buildWorkers(opts, len(data), n)
+	cuts := make([]int, workers+1)
+	for i := range cuts {
+		cuts[i] = i * len(data) / workers
+	}
+
+	// ---- pass 1: sharded count, buffering accepted (pos, code) pairs
+	// so pass 2 scatters from sequential buffers instead of re-scanning
+	// and re-encoding the bank. The serial path counts straight into
+	// Starts[c+1] (the prefix pass below converts it in place), skipping
+	// a whole 4·4^W-byte counts allocation ----
+	counts := make([][]int32, workers)
+	occBufs := make([][]uint64, workers)
+	tallies := make([]shardTally, workers)
+	runShards(workers, func(sid int) {
+		lo, hi := cuts[sid], cuts[sid+1]
+		hint := (hi - lo + int(step) - 1) / int(step)
+		var cnt []int32
+		if workers == 1 {
+			cnt = ix.Starts[1:]
+		} else {
+			cnt = make([]int32, n)
 		}
-		if maskBits != nil {
-			for q := pos; q < pos+int32(w); q++ {
-				if maskBits[q] {
-					ix.MaskedOut++
-					return
-				}
+		// One packed pos<<32|code word per occurrence: a single
+		// sequential append stream (pos needs 31 bits, code ≤ 30).
+		occBuf := make([]uint64, 0, hint)
+		t := &tallies[sid]
+		scanRange(data, w, lo, hi, func(pos int32, c seed.Code) {
+			if step > 1 && pos%step != phase {
+				t.sampled++
+				return
+			}
+			if maskPfx != nil && maskPfx[pos+w32] != maskPfx[pos] {
+				t.masked++
+				return
+			}
+			cnt[c]++
+			t.indexed++
+			occBuf = append(occBuf, uint64(pos)<<32|uint64(c))
+		})
+		counts[sid], occBufs[sid] = cnt, occBuf
+	})
+	for i := range tallies {
+		ix.Indexed += tallies[i].indexed
+		ix.MaskedOut += tallies[i].masked
+		ix.SampledOut += tallies[i].sampled
+	}
+
+	// ---- prefix sum + pass 2: scatter positions ----
+	ix.Pos = make([]int32, ix.Indexed)
+	if hint := ix.Indexed; hint > n {
+		ix.Codes = make([]seed.Code, 0, n)
+	} else {
+		ix.Codes = make([]seed.Code, 0, hint)
+	}
+	if workers == 1 {
+		// Serial fast path: the classic in-place counting-sort trick.
+		// Pass 1 counted into Starts[c+1]; here Starts[c+1] becomes the
+		// cursor of code c, seeded at its exclusive prefix. Each
+		// placement bumps it, so after the scatter Starts[c+1] has
+		// landed on the inclusive end of group c — the final CSR array,
+		// with no separate counts buffer or cursor pass at all.
+		st := ix.Starts
+		var running int32
+		for c := 0; c < n; c++ {
+			if k := st[c+1]; k != 0 {
+				st[c+1] = running
+				running += k
+				ix.Codes = append(ix.Codes, seed.Code(c))
+			} else {
+				st[c+1] = running
 			}
 		}
-		if t := tails[c]; t < 0 {
-			ix.Dict[c] = pos
-		} else {
-			ix.Next[t] = pos
+		for _, v := range occBufs[0] {
+			c := uint32(v)
+			i := st[c+1]
+			st[c+1] = i + 1
+			ix.Pos[i] = int32(v >> 32)
 		}
-		tails[c] = pos
-		ix.Indexed++
+	} else {
+		// Parallel path: the prefix sum turns the per-shard counts into
+		// per-shard scatter cursors, ordering shard sid's block of code
+		// c after all lower shards' blocks of the same code.
+		var running int32
+		for c := 0; c < n; c++ {
+			ix.Starts[c] = running
+			for sid := 0; sid < workers; sid++ {
+				k := counts[sid][c]
+				counts[sid][c] = running
+				running += k
+			}
+			if running != ix.Starts[c] {
+				ix.Codes = append(ix.Codes, seed.Code(c))
+			}
+		}
+		ix.Starts[n] = running
+		runShards(workers, func(sid int) {
+			cur := counts[sid]
+			for _, v := range occBufs[sid] {
+				c := uint32(v)
+				i := cur[c]
+				cur[c] = i + 1
+				ix.Pos[i] = int32(v >> 32)
+			}
+		})
+	}
+
+	// ---- pass 3: sidecar fill. A separate sweep so the writes are
+	// sequential (the scatter above writes Pos at random cursor
+	// positions; OccSeq/OccLo/OccHi here stream in index order) ----
+	ix.OccSeq = make([]int32, ix.Indexed)
+	ix.OccLo = make([]int32, ix.Indexed)
+	ix.OccHi = make([]int32, ix.Indexed)
+	occCuts := make([]int, workers+1)
+	for i := range occCuts {
+		occCuts[i] = i * ix.Indexed / workers
+	}
+	runShards(workers, func(sid int) {
+		for i := occCuts[sid]; i < occCuts[sid+1]; i++ {
+			s := b.SeqAt(ix.Pos[i])
+			ix.OccSeq[i] = s
+			ix.OccLo[i], ix.OccHi[i] = b.SeqBounds(int(s))
+		}
 	})
 	return ix
 }
 
-// Head returns the first position of seed code c, or -1.
-func (ix *Index) Head(c seed.Code) int32 { return ix.Dict[c] }
-
-// NextPos returns the next position sharing p's seed code, or -1.
-func (ix *Index) NextPos(p int32) int32 { return ix.Next[p] }
-
-// Occurrences collects every position of code c (ascending). Intended
-// for tests and diagnostics; hot paths walk the chain directly.
-func (ix *Index) Occurrences(c seed.Code) []int32 {
-	var out []int32
-	for p := ix.Dict[c]; p >= 0; p = ix.Next[p] {
-		out = append(out, p)
+// runShards executes fn(0..workers-1), concurrently when workers > 1.
+func runShards(workers int, fn func(sid int)) {
+	if workers == 1 {
+		fn(0)
+		return
 	}
-	return out
+	var wg sync.WaitGroup
+	for sid := 0; sid < workers; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			fn(sid)
+		}(sid)
+	}
+	wg.Wait()
 }
 
-// CountOccurrences walks the chain of c and returns its length.
-func (ix *Index) CountOccurrences(c seed.Code) int {
-	n := 0
-	for p := ix.Dict[c]; p >= 0; p = ix.Next[p] {
-		n++
+// Occ returns the occurrences of code c as a contiguous ascending slice
+// view into the flat array — the hot-loop accessor. Callers must not
+// mutate it.
+func (ix *Index) Occ(c seed.Code) []int32 {
+	return ix.Pos[ix.Starts[c]:ix.Starts[c+1]]
+}
+
+// OccRange returns the half-open [start,end) range of c's occurrences
+// inside Pos and the sidecar arrays, for loops that need OccSeq/OccLo/
+// OccHi alongside the positions.
+func (ix *Index) OccRange(c seed.Code) (start, end int32) {
+	return ix.Starts[c], ix.Starts[c+1]
+}
+
+// Head returns the first (lowest) position of seed code c, or -1 — the
+// legacy chain-API shim over the CSR slice.
+func (ix *Index) Head(c seed.Code) int32 {
+	s, e := ix.Starts[c], ix.Starts[c+1]
+	if s == e {
+		return -1
 	}
-	return n
+	return ix.Pos[s]
+}
+
+// NextPos returns the next-higher indexed position sharing p's seed
+// code, or -1. It is a compatibility shim over the CSR layout (re-encode
+// p's window, binary-search its occurrence slice); hot paths iterate
+// Occ/OccRange slices instead.
+func (ix *Index) NextPos(p int32) int32 {
+	c, ok := seed.Encode(ix.Bank.Data[p:], ix.W)
+	if !ok {
+		return -1
+	}
+	occ := ix.Occ(c)
+	i := sort.Search(len(occ), func(i int) bool { return occ[i] >= p })
+	if i < len(occ) && occ[i] == p && i+1 < len(occ) {
+		return occ[i+1]
+	}
+	return -1
+}
+
+// Occurrences returns a copy of every position of code c (ascending).
+// Intended for tests and diagnostics; hot paths use Occ.
+func (ix *Index) Occurrences(c seed.Code) []int32 {
+	return append([]int32(nil), ix.Occ(c)...)
+}
+
+// CountOccurrences returns the number of occurrences of c.
+func (ix *Index) CountOccurrences(c seed.Code) int {
+	return int(ix.Starts[c+1] - ix.Starts[c])
 }
 
 // NumCodes returns the dictionary size 4^W.
-func (ix *Index) NumCodes() int { return len(ix.Dict) }
+func (ix *Index) NumCodes() int { return len(ix.Starts) - 1 }
 
-// MemoryBytes reports the footprint of Dict+Next, the "INDEX" part of
-// the paper's ≈5N bytes/bank estimate.
-func (ix *Index) MemoryBytes() int { return 4 * (len(ix.Dict) + len(ix.Next)) }
+// MemoryBytes reports the footprint of the CSR arrays (Starts + Pos +
+// sidecar), the "INDEX" part of the paper's ≈5N bytes/bank estimate;
+// DESIGN.md §3 gives the exact math for this layout.
+func (ix *Index) MemoryBytes() int {
+	return 4 * (len(ix.Starts) + len(ix.Pos) + len(ix.Codes) +
+		len(ix.OccSeq) + len(ix.OccLo) + len(ix.OccHi))
+}
 
 // Options returns the options the index was built with.
 func (ix *Index) Options() Options { return ix.opts }

@@ -98,13 +98,13 @@ func TestQuickBuildDeterministic(t *testing.T) {
 		if a.Indexed != c.Indexed {
 			return false
 		}
-		for i := range a.Dict {
-			if a.Dict[i] != c.Dict[i] {
+		for i := range a.Starts {
+			if a.Starts[i] != c.Starts[i] {
 				return false
 			}
 		}
-		for i := range a.Next {
-			if a.Next[i] != c.Next[i] {
+		for i := range a.Pos {
+			if a.Pos[i] != c.Pos[i] {
 				return false
 			}
 		}
