@@ -6,6 +6,9 @@
 // substrates (DESIGN.md §3).
 //
 //	goblastn -d bankA.fasta -i bankB.fasta -o result.m8 -e 0.001 -S 1
+//
+// -i repeats: the database bank is loaded once and one search session
+// (lookup/diagonal arrays sized to the db) serves every query bank.
 package main
 
 import (
@@ -15,12 +18,13 @@ import (
 	"time"
 
 	scoris "repro"
+	"repro/internal/cliflag"
 )
 
 func main() {
+	var qPaths cliflag.Multi
 	var (
 		dbPath   = flag.String("d", "", "subject/database bank FASTA (required)")
-		qPath    = flag.String("i", "", "query bank FASTA (required)")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 		w        = flag.Int("W", 11, "word size")
 		evalue   = flag.Float64("e", 1e-3, "E-value cutoff")
@@ -34,16 +38,15 @@ func main() {
 		stride   = flag.Int("stride", 4, "db scan stride (classic BLASTN: 4, the packed-byte boundary)")
 		verbose  = flag.Bool("v", false, "print scan metrics to stderr")
 	)
+	flag.Var(&qPaths, "i", "query bank FASTA (repeatable — one db session serves every query bank)")
 	flag.Parse()
-	if *dbPath == "" || *qPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: goblastn -d bankA.fasta -i bankB.fasta [flags]")
+	if *dbPath == "" || len(qPaths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: goblastn -d bankA.fasta -i bankB.fasta [-i bankC.fasta ...] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
 	db, err := scoris.LoadBank("db", *dbPath)
-	fatal(err)
-	queries, err := scoris.LoadBank("queries", *qPath)
 	fatal(err)
 
 	opt := scoris.DefaultBlastnOptions()
@@ -58,10 +61,9 @@ func main() {
 	opt.ScanWord = *scanWord
 	opt.ScanStride = *stride
 
-	t0 := time.Now()
-	res, err := scoris.CompareBlastn(db, queries, opt)
+	// One session: the db bank and its engine arrays persist across -i.
+	session, err := scoris.NewBlastnSession(db, opt)
 	fatal(err)
-	elapsed := time.Since(t0)
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -70,16 +72,25 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	fatal(scoris.WriteBlastnM8(out, res, db, queries))
 
-	if *verbose {
-		m := res.Metrics
-		fmt.Fprintf(os.Stderr, "goblastn: %d queries, %d alignments in %.2fs\n",
-			m.Queries, len(res.Alignments), elapsed.Seconds())
-		fmt.Fprintf(os.Stderr, "  scanned %d positions, %d word hits, %d skipped by diagonal\n",
-			m.ScannedPositions, m.WordHits, m.SkippedByDiag)
-		fmt.Fprintf(os.Stderr, "  %d ungapped extensions, %d HSPs, %d gapped extensions\n",
-			m.Extensions, m.HSPs, m.GappedExtensions)
+	for i, qp := range qPaths {
+		queries, err := scoris.LoadBank(fmt.Sprintf("queries.%d", i+1), qp)
+		fatal(err)
+		t0 := time.Now()
+		res, err := session.Compare(queries)
+		fatal(err)
+		elapsed := time.Since(t0)
+		fatal(scoris.WriteBlastnM8(out, res, db, queries))
+
+		if *verbose {
+			m := res.Metrics
+			fmt.Fprintf(os.Stderr, "goblastn: %s: %d queries, %d alignments in %.2fs\n",
+				qp, m.Queries, len(res.Alignments), elapsed.Seconds())
+			fmt.Fprintf(os.Stderr, "  scanned %d positions, %d word hits, %d skipped by diagonal\n",
+				m.ScannedPositions, m.WordHits, m.SkippedByDiag)
+			fmt.Fprintf(os.Stderr, "  %d ungapped extensions, %d HSPs, %d gapped extensions\n",
+				m.Extensions, m.HSPs, m.GappedExtensions)
+		}
 	}
 }
 

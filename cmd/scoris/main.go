@@ -7,21 +7,29 @@
 //	scoris -d bankA.fasta -i bankB.fasta -o result.m8 -e 0.001 -S 1
 //
 // Bank A (-d) is the subject/database bank, bank B (-i) the query bank.
+// -i repeats: the database bank is loaded and indexed exactly once and
+// the prepared index is reused for every query bank, so
+//
+//	scoris -d est_db.fasta -i run1.fasta -i run2.fasta -i run3.fasta
+//
+// costs one index build plus three comparisons, not three of each.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	scoris "repro"
+	"repro/internal/cliflag"
 )
 
 func main() {
+	var qPaths cliflag.Multi
 	var (
 		dbPath    = flag.String("d", "", "subject bank FASTA (bank 1, required)")
-		qPath     = flag.String("i", "", "query bank FASTA (bank 2, required)")
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		w         = flag.Int("W", 11, "seed length")
 		evalue    = flag.Float64("e", 1e-3, "E-value cutoff")
@@ -38,9 +46,10 @@ func main() {
 		format    = flag.Int("m", 8, "output format: 8 = tabular (paper mode), 0 = full pairwise alignments")
 		verbose   = flag.Bool("v", false, "print per-step metrics to stderr")
 	)
+	flag.Var(&qPaths, "i", "query bank FASTA (bank 2; repeatable — the -d index is built once and reused)")
 	flag.Parse()
-	if *dbPath == "" || (*qPath == "" && !*self) {
-		fmt.Fprintln(os.Stderr, "usage: scoris -d bankA.fasta -i bankB.fasta [flags]")
+	if *dbPath == "" || (len(qPaths) == 0 && !*self) {
+		fmt.Fprintln(os.Stderr, "usage: scoris -d bankA.fasta -i bankB.fasta [-i bankC.fasta ...] [flags]")
 		fmt.Fprintln(os.Stderr, "       scoris -d genome.fasta -self [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -48,13 +57,6 @@ func main() {
 
 	bank1, err := scoris.LoadBank("bank1", *dbPath)
 	fatal(err)
-	var bank2 *scoris.Bank
-	if *self {
-		bank2 = bank1
-	} else {
-		bank2, err = scoris.LoadBank("bank2", *qPath)
-		fatal(err)
-	}
 
 	opt := scoris.DefaultOptions()
 	opt.W = *w
@@ -75,11 +77,6 @@ func main() {
 	}
 	opt.SkipSelfPairs = *self
 
-	t0 := time.Now()
-	res, err := scoris.Compare(bank1, bank2, opt)
-	fatal(err)
-	elapsed := time.Since(t0)
-
 	out := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -87,26 +84,65 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	switch *format {
+
+	// The cache makes the persistent-db behavior explicit: bank 1's
+	// index is built on the first pair and every later -i reuses it.
+	// Bound 2 keeps exactly {db, current query} resident — each job's
+	// Get order is db first, so the db entry is always most-recent of
+	// the two and the previous query's single-use index is what evicts.
+	cache := scoris.NewIndexCache(2)
+
+	// Self mode compares the db bank against itself; -i is ignored
+	// (SkipSelfPairs is only defined on one shared coordinate space).
+	jobs := qPaths
+	if *self {
+		jobs = cliflag.Multi{*dbPath}
+	}
+
+	for i, qp := range jobs {
+		bank2 := bank1
+		if !*self {
+			// Query banks load lazily, one job at a time, so peak memory
+			// is O(db + one query bank) however many -i are given.
+			bank2, err = scoris.LoadBank(fmt.Sprintf("bank2.%d", i+1), qp)
+			fatal(err)
+		}
+		t0 := time.Now()
+		p1, p2, err := scoris.Prepare(cache, bank1, bank2, opt)
+		fatal(err)
+		prepTime := time.Since(t0)
+		res, err := scoris.CompareWithIndex(p1, p2, opt)
+		fatal(err)
+		elapsed := time.Since(t0)
+		writeResult(out, res, bank1, bank2, opt, *format)
+
+		if *verbose {
+			m := res.Metrics
+			fmt.Fprintf(os.Stderr, "scoris: %s vs %s: %d alignments in %.2fs (db index cached: %d builds for %d lookups)\n",
+				*dbPath, qp, len(res.Alignments), elapsed.Seconds(),
+				cache.Builds(), cache.Lookups())
+			// prepTime is this job's actual build cost (zero on a cache
+			// hit); m.IndexTime adds any in-comparison build such as the
+			// BothStrands reverse-complement index.
+			fmt.Fprintf(os.Stderr, "  step1 index   %8.3fs (%d + %d positions)\n",
+				(prepTime + m.IndexTime).Seconds(), m.IndexedBank1, m.IndexedBank2)
+			fmt.Fprintf(os.Stderr, "  step2 ungapped%8.3fs (%d hit pairs, %d aborted, %d HSPs)\n",
+				m.Step2Time.Seconds(), m.HitPairs, m.Aborted, m.HSPs)
+			fmt.Fprintf(os.Stderr, "  step3 gapped  %8.3fs (%d extensions, %d covered)\n",
+				m.Step3Time.Seconds(), m.GappedExtensions, m.SkippedCovered)
+			fmt.Fprintf(os.Stderr, "  step4 output  %8.3fs\n", m.Step4Time.Seconds())
+		}
+	}
+}
+
+func writeResult(out io.Writer, res *scoris.Result, bank1, bank2 *scoris.Bank, opt scoris.Options, format int) {
+	switch format {
 	case 8:
 		fatal(scoris.WriteM8(out, res, bank1, bank2))
 	case 0:
 		fatal(scoris.WritePairwise(out, res, bank1, bank2, opt))
 	default:
-		fatal(fmt.Errorf("unsupported output format -m %d (use 8 or 0)", *format))
-	}
-
-	if *verbose {
-		m := res.Metrics
-		fmt.Fprintf(os.Stderr, "scoris: %s vs %s: %d alignments in %.2fs\n",
-			*dbPath, *qPath, len(res.Alignments), elapsed.Seconds())
-		fmt.Fprintf(os.Stderr, "  step1 index   %8.3fs (%d + %d positions)\n",
-			m.IndexTime.Seconds(), m.IndexedBank1, m.IndexedBank2)
-		fmt.Fprintf(os.Stderr, "  step2 ungapped%8.3fs (%d hit pairs, %d aborted, %d HSPs)\n",
-			m.Step2Time.Seconds(), m.HitPairs, m.Aborted, m.HSPs)
-		fmt.Fprintf(os.Stderr, "  step3 gapped  %8.3fs (%d extensions, %d covered)\n",
-			m.Step3Time.Seconds(), m.GappedExtensions, m.SkippedCovered)
-		fmt.Fprintf(os.Stderr, "  step4 output  %8.3fs\n", m.Step4Time.Seconds())
+		fatal(fmt.Errorf("unsupported output format -m %d (use 8 or 0)", format))
 	}
 }
 

@@ -39,18 +39,27 @@ func main() {
 	fmt.Printf("bank %s: %d reads, %.2f Mbp\n", bankB.Name, bankB.NumSeqs(), bankB.Mbp())
 	fmt.Printf("search space: %.2f Mbp²\n\n", bankA.Mbp()*bankB.Mbp())
 
-	// SCORIS-N.
+	// SCORIS-N, through the prepared-bank session API: each bank is
+	// indexed exactly once, up front, and the comparison runs against
+	// the prepared indexes — the pattern that amortizes the ORIS build
+	// over every pair a real clustering run would compare.
 	oOpt := scoris.DefaultOptions()
 	oOpt.Workers = *workers
 	t0 := time.Now()
-	ores, err := scoris.Compare(bankA, bankB, oOpt)
+	p1, p2, err := scoris.Prepare(nil, bankA, bankB, oOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	oTime := time.Since(t0)
-	fmt.Printf("SCORIS-N: %5d alignments in %6.2fs (index %.2fs, step2 %.2fs, step3 %.2fs)\n",
+	buildTime := time.Since(t0)
+	t0 = time.Now()
+	ores, err := scoris.CompareWithIndex(p1, p2, oOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oTime := buildTime + time.Since(t0)
+	fmt.Printf("SCORIS-N: %5d alignments in %6.2fs (index build %.2fs — paid once per bank, step2 %.2fs, step3 %.2fs)\n",
 		len(ores.Alignments), oTime.Seconds(),
-		ores.Metrics.IndexTime.Seconds(), ores.Metrics.Step2Time.Seconds(),
+		buildTime.Seconds(), ores.Metrics.Step2Time.Seconds(),
 		ores.Metrics.Step3Time.Seconds())
 
 	// BLASTN baseline.

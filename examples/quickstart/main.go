@@ -1,5 +1,8 @@
 // Quickstart: compare two small in-memory DNA banks with the ORIS
-// engine (SCORIS-N) and print the alignments in BLAST -m 8 format.
+// engine (SCORIS-N) and print the alignments in BLAST -m 8 format,
+// using the prepared-bank session API — each bank is indexed once and
+// the prepared indexes are what the engine consumes, so a second
+// comparison against either bank would skip its build entirely.
 //
 //	go run ./examples/quickstart
 package main
@@ -42,7 +45,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := scoris.Compare(bank1, bank2, scoris.DefaultOptions())
+	// Prepare builds each bank's seed index exactly once (a cache could
+	// be passed instead of nil to share builds across many pairs);
+	// CompareWithIndex then runs steps 2–4 against the prepared banks.
+	opt := scoris.DefaultOptions()
+	p1, p2, err := scoris.Prepare(nil, bank1, bank2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scoris.CompareWithIndex(p1, p2, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

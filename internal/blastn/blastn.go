@@ -21,6 +21,10 @@
 //
 // Lookup tables and diagonal arrays are generation-stamped so per-query
 // setup is O(query length), not O(4^W) — the real BLAST does the same.
+// That stamping also makes the whole engine reusable across query
+// banks: Session holds one database bank plus the engine arrays so
+// multi-query-bank workloads pay the O(len(db)) allocations once, the
+// baseline's analog of the prepared-index sessions in core and blat.
 package blastn
 
 import (
@@ -176,20 +180,49 @@ type engine struct {
 	masker *dust.Masker
 }
 
-// Compare searches every sequence of queries against the whole db bank,
-// one query at a time, and returns the merged alignment list sorted for
-// display. db plays the paper's "bank 1" (subject) role.
-func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
+// Session is the prepared-bank form of the baseline: a database bank
+// paired with the reusable per-search engine state (word-table and
+// diagonal arrays, extenders, statistics). BLASTN has no bank index to
+// persist — its db-side cost is the scan itself — but the
+// O(len(db.Data)) diagonal arrays and the O(4^ScanWord) lookup arrays
+// are allocated once here and reused for every query bank, the analog
+// of core/blat index reuse for this engine.
+//
+// A Session is NOT safe for concurrent use: the generation-stamped
+// arrays are mutated per query. It is valid only for the (db, Options)
+// it was created with; create one session per database bank.
+type Session struct {
+	eng *engine // sole owner of the db, options, and reusable arrays
+}
+
+// NewSession validates opt and allocates the reusable engine state for
+// searches against db.
+func NewSession(db *bank.Bank, opt Options) (*Session, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := compareStrand(db, queries, opt)
+	eng, err := newEngine(db, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{eng: eng}, nil
+}
+
+// DB returns the session's database bank.
+func (s *Session) DB() *bank.Bank { return s.eng.db }
+
+// Compare searches every sequence of queries against the session's db
+// bank, one query at a time, and returns the merged alignment list
+// sorted for display. db plays the paper's "bank 1" (subject) role.
+func (s *Session) Compare(queries *bank.Bank) (*Result, error) {
+	opt := s.eng.opt
+	res, err := s.compareStrand(queries)
 	if err != nil {
 		return nil, err
 	}
 	if opt.BothStrands {
 		rc := queries.ReverseComplement()
-		rcRes, err := compareStrand(db, rc, opt)
+		rcRes, err := s.compareStrand(rc)
 		if err != nil {
 			return nil, err
 		}
@@ -228,29 +261,33 @@ func mergeMetrics(m, o *Metrics) {
 	m.Alignments += o.Alignments
 }
 
-func compareStrand(db, queries *bank.Bank, opt Options) (*Result, error) {
-	t0 := time.Now()
+// Compare searches queries against db with a one-shot Session — the
+// thin wrapper kept for single-pair callers. Workloads that search
+// several query banks against the same db should hold one Session so
+// the db-sized engine arrays are allocated once.
+func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
+	s, err := NewSession(db, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compare(queries)
+}
+
+// newEngine allocates the query-independent engine state; the arrays
+// sized by the longest query grow on demand in grow.
+func newEngine(db *bank.Bank, opt Options) (*engine, error) {
 	ka, err := stats.Ungapped(opt.Scoring.Match, opt.Scoring.Mismatch)
 	if err != nil {
 		return nil, err
 	}
 	scanWord, _ := opt.scanParams()
 	nCodes := seed.NumCodes(scanWord)
-	maxQ := 0
-	for i := 0; i < queries.NumSeqs(); i++ {
-		if l := queries.SeqLen(i); l > maxQ {
-			maxQ = l
-		}
-	}
 	e := &engine{
 		opt:     opt,
 		db:      db,
 		gen:     make([]int32, nCodes),
 		head:    make([]int32, nCodes),
-		nextPos: make([]int32, maxQ+1),
 		present: make([]uint64, (nCodes+63)/64),
-		diagEnd: make([]int32, len(db.Data)+maxQ+1),
-		diagGen: make([]int32, len(db.Data)+maxQ+1),
 		ext: hsp.Extender{
 			W:        opt.W,
 			Match:    int32(opt.Scoring.Match),
@@ -264,6 +301,34 @@ func compareStrand(db, queries *bank.Bank, opt Options) (*Result, error) {
 	if opt.Dust {
 		e.masker = dust.New(opt.DustWindow, opt.DustThreshold)
 	}
+	return e, nil
+}
+
+// grow sizes the query-length-dependent arrays for a bank whose longest
+// sequence is maxQ bases. Enlarged arrays arrive zeroed, which the
+// generation stamps read as "never touched" (curGen only moves upward
+// from 1), so reuse across query banks cannot leak diagonal state.
+func (e *engine) grow(maxQ int) {
+	if len(e.nextPos) < maxQ+1 {
+		e.nextPos = make([]int32, maxQ+1)
+	}
+	if need := len(e.db.Data) + maxQ + 1; len(e.diagEnd) < need {
+		e.diagEnd = make([]int32, need)
+		e.diagGen = make([]int32, need)
+	}
+}
+
+func (s *Session) compareStrand(queries *bank.Bank) (*Result, error) {
+	e := s.eng
+	opt := e.opt
+	t0 := time.Now()
+	maxQ := 0
+	for i := 0; i < queries.NumSeqs(); i++ {
+		if l := queries.SeqLen(i); l > maxQ {
+			maxQ = l
+		}
+	}
+	e.grow(maxQ)
 	var met Metrics
 	met.SetupTime = time.Since(t0)
 
@@ -278,7 +343,8 @@ func compareStrand(db, queries *bank.Bank, opt Options) (*Result, error) {
 	}
 
 	t0 = time.Now()
-	m := db.TotalBases()
+	m := e.db.TotalBases()
+	ka := e.ka
 	deduped := align.Dedup(all)
 	out := deduped[:0]
 	for i := range deduped {

@@ -1,0 +1,91 @@
+package blastn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bank"
+)
+
+// TestSessionReuseMatchesCompare: one Session serving several query
+// banks (including re-serving the first, and a both-strand pass) must
+// produce exactly what one-shot Compare produces for each — the
+// generation-stamped engine state cannot leak between query banks.
+func TestSessionReuseMatchesCompare(t *testing.T) {
+	db, q1 := testBanks(41, 5, 5, 3, 600)
+	// Same generator seed reproduces the same db sequences, so q2 is a
+	// differently-shaped query bank homologous to the SAME db.
+	_, q2 := testBanks(41, 5, 8, 4, 600)
+	// A query bank with much longer sequences forces the session's
+	// diagonal/word arrays to grow mid-life.
+	rng := rand.New(rand.NewSource(45))
+	qLong := mkBank("qlong", randSeq(rng, 2000), randSeq(rng, 1800))
+	opt := DefaultOptions()
+
+	s, err := NewSession(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []*bank.Bank{q1, q2, qLong, q1} {
+		got, err := s.Compare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Compare(db, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Alignments) == 0 && q != qLong {
+			t.Fatalf("round %d: degenerate test, no alignments", i)
+		}
+		if len(got.Alignments) != len(ref.Alignments) {
+			t.Fatalf("round %d: session found %d alignments, one-shot %d",
+				i, len(got.Alignments), len(ref.Alignments))
+		}
+		for j := range ref.Alignments {
+			if got.Alignments[j] != ref.Alignments[j] {
+				t.Fatalf("round %d: alignment %d differs:\n  session: %+v\n  oneshot: %+v",
+					i, j, got.Alignments[j], ref.Alignments[j])
+			}
+		}
+	}
+}
+
+func TestSessionBothStrands(t *testing.T) {
+	db, q := testBanks(43, 4, 4, 3, 500)
+	opt := DefaultOptions()
+	opt.BothStrands = true
+	s, err := NewSession(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two rounds on the same queries: the strand passes share one
+	// engine inside a session, and a second round must still agree.
+	for i := 0; i < 2; i++ {
+		got, err := s.Compare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Compare(db, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Alignments) != len(ref.Alignments) {
+			t.Fatalf("round %d: %d vs %d alignments", i, len(got.Alignments), len(ref.Alignments))
+		}
+		for j := range ref.Alignments {
+			if got.Alignments[j] != ref.Alignments[j] {
+				t.Fatalf("round %d: alignment %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestNewSessionValidates(t *testing.T) {
+	db, _ := testBanks(44, 2, 2, 1, 200)
+	opt := DefaultOptions()
+	opt.W = 2
+	if _, err := NewSession(db, opt); err == nil {
+		t.Error("invalid options accepted")
+	}
+}

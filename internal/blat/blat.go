@@ -30,6 +30,7 @@ import (
 	"repro/internal/gapped"
 	"repro/internal/hsp"
 	"repro/internal/index"
+	"repro/internal/ixcache"
 	"repro/internal/seed"
 	"repro/internal/stats"
 )
@@ -109,24 +110,58 @@ type Result struct {
 	Metrics    Metrics
 }
 
+// IndexOptions reports the index.Options of the non-overlapping tile
+// index Compare derives from o for the database bank — what a prepared
+// index must have been built with to be valid for CompareWithIndex.
+func (o Options) IndexOptions() index.Options {
+	return index.Options{W: o.W, SampleStep: o.W}
+}
+
 // Compare searches every query sequence against the tile-indexed db
-// bank. Conventions match the other engines: db is "bank 1"/subject,
-// E-values use m = db residues, n = query length.
+// bank, building the tile index in place. Conventions match the other
+// engines: db is "bank 1"/subject, E-values use m = db residues,
+// n = query length. Callers searching many query banks against one db
+// should build the tile index once (ixcache) and use CompareWithIndex.
 func Compare(db, queries *bank.Bank, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
+	p := ixcache.Prepare(db, opt.IndexOptions())
+	indexTime := time.Since(t0)
+	res, err := compareWithIndex(p.Bank, p.Ix, queries, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.IndexTime += indexTime
+	return res, nil
+}
+
+// CompareWithIndex runs the search against a prepared database tile
+// index, skipping the build (Metrics.IndexTime stays zero). The
+// prepared value must match opt's IndexOptions exactly — tile size and
+// non-overlapping sampling — or an error is returned (the ixcache reuse
+// contract: an index is valid only for the exact (bank, Options) it was
+// built from).
+func CompareWithIndex(pdb *ixcache.Prepared, queries *bank.Bank, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if !pdb.MatchesOptions(opt.IndexOptions()) {
+		return nil, fmt.Errorf("blat: prepared db does not match options (want W=%d non-overlapping tiles)", opt.W)
+	}
+	return compareWithIndex(pdb.Bank, pdb.Ix, queries, opt)
+}
+
+// compareWithIndex is the engine body on a prebuilt tile index.
+func compareWithIndex(db *bank.Bank, ix *index.Index, queries *bank.Bank, opt Options) (*Result, error) {
 	ka, err := stats.Ungapped(opt.Scoring.Match, opt.Scoring.Mismatch)
 	if err != nil {
 		return nil, err
 	}
 	var met Metrics
-
-	// ---- one-time non-overlapping tile index of the database ----
-	t0 := time.Now()
-	ix := index.Build(db, index.Options{W: opt.W, SampleStep: opt.W})
-	met.IndexTime = time.Since(t0)
 	met.TilesIndexed = ix.Indexed
+	var t0 time.Time
 
 	var masker *dust.Masker
 	if opt.Dust {

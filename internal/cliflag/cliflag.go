@@ -1,0 +1,17 @@
+// Package cliflag holds small flag.Value helpers shared by the
+// command-line tools.
+package cliflag
+
+import "strings"
+
+// Multi collects a repeatable string flag (e.g. -i a.fasta -i b.fasta).
+type Multi []string
+
+// String implements flag.Value.
+func (m *Multi) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value, appending each occurrence.
+func (m *Multi) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

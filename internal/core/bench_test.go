@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"repro/internal/bank"
 	"repro/internal/index"
+	"repro/internal/ixcache"
 	"repro/internal/simulate"
 )
 
@@ -47,6 +49,58 @@ func BenchmarkCompare_EndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Compare(b1, b2, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSharedWorkload is the multi-pair workload of the prepared-bank
+// benchmarks below: one subject bank compared against three query
+// banks — the EST-sweep shape where every row shares bank 1.
+func benchSharedWorkload(b *testing.B) (*bank.Bank, []*bank.Bank, Options) {
+	b.Helper()
+	ds, opt := benchBanks(b)
+	db := ds.Get(simulate.EST5)
+	queries := []*bank.Bank{
+		ds.Get(simulate.EST2), ds.Get(simulate.EST3), ds.Get(simulate.EST4),
+	}
+	return db, queries, opt
+}
+
+// BenchmarkCompare_Rebuilt is the rebuild-per-pair baseline the
+// prepared-bank sessions exist to beat: every pair rebuilds both CSR
+// indexes from scratch, which is what plain Compare does.
+func BenchmarkCompare_Rebuilt(b *testing.B) {
+	db, queries, opt := benchSharedWorkload(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := Compare(db, q, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompare_Reused runs the same workload through a prepared-
+// bank cache: each (bank, options) index is built exactly once, on
+// first use, and every comparison after that is steps 2–4 only — the
+// amortization the ordered-index design front-loads its build for.
+// Compare against BenchmarkCompare_Rebuilt.
+func BenchmarkCompare_Reused(b *testing.B) {
+	db, queries, opt := benchSharedWorkload(b)
+	cache := ixcache.New(8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			p1, p2, err := Prepare(cache, db, q, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := CompareWithIndex(p1, p2, opt); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

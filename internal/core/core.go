@@ -18,6 +18,20 @@
 // seed order prevents identical HSPs to be generated"); workers share
 // nothing but an atomic chunk counter. Step 3 optionally parallelizes
 // over diagonal bands with a final dedup pass.
+//
+// # Index reuse
+//
+// Compare rebuilds both bank indexes on every call. For workloads that
+// compare one bank against many others, prepare the indexes once and
+// call CompareWithIndex instead: Options.IndexOptions reports the exact
+// index.Options each side needs, Prepare builds (or fetches from an
+// ixcache.Cache) the matching ixcache.Prepared pair, and
+// CompareWithIndex runs steps 2–4 against them. The reuse contract
+// (package ixcache): a built index.Index is immutable and safe for any
+// number of concurrent readers, but valid only for the exact
+// (bank, index.Options) it was built from — CompareWithIndex verifies
+// the match and rejects mismatched indexes rather than produce output
+// for seeds that don't exist.
 package core
 
 import (
@@ -33,6 +47,7 @@ import (
 	"repro/internal/gapped"
 	"repro/internal/hsp"
 	"repro/internal/index"
+	"repro/internal/ixcache"
 	"repro/internal/seed"
 	"repro/internal/stats"
 )
@@ -179,21 +194,107 @@ type Result struct {
 	Metrics    Metrics
 }
 
-// Compare runs the full ORIS pipeline on two banks.
+// IndexOptions reports the exact index.Options Compare derives from o
+// for bank 1 and bank 2 — the options a prepared index must have been
+// built with to be valid for CompareWithIndex under o. Each call
+// returns fresh dust.Masker values; maskers are compared by parameter,
+// not identity, so that is harmless.
+func (o Options) IndexOptions() (o1, o2 index.Options) {
+	var masker *dust.Masker
+	if o.Dust {
+		masker = dust.New(o.DustWindow, o.DustThreshold)
+	}
+	o1 = index.Options{W: o.W, Dust: masker, Workers: o.Workers}
+	if o.Asymmetric {
+		o1.SampleStep = 2
+	}
+	o2 = index.Options{W: o.W, Dust: masker, Workers: o.Workers}
+	return o1, o2
+}
+
+// Prepare builds (or fetches) the prepared indexes Compare would build
+// for (b1, b2) under opt. With a non-nil cache the builds are shared
+// across calls keyed by (bank, options); with a nil cache the indexes
+// are built directly. When b1 == b2 and the two sides need identical
+// options (no Asymmetric), one index serves both.
+func Prepare(c *ixcache.Cache, b1, b2 *bank.Bank, opt Options) (p1, p2 *ixcache.Prepared, err error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
+	o1, o2 := opt.IndexOptions()
+	if c != nil {
+		p1 = c.Get(b1, o1)
+		p2 = c.Get(b2, o2)
+		return p1, p2, nil
+	}
+	p1 = ixcache.Prepare(b1, o1)
+	if b1 == b2 && !opt.Asymmetric {
+		return p1, p1, nil
+	}
+	p2 = ixcache.Prepare(b2, o2)
+	return p1, p2, nil
+}
+
+// Compare runs the full ORIS pipeline on two banks, building both
+// indexes in place. It is the thin build-then-call wrapper over
+// CompareWithIndex; callers comparing a bank against many others should
+// Prepare once and call CompareWithIndex so the builds amortize.
 func Compare(b1, b2 *bank.Bank, opt Options) (*Result, error) {
+	t0 := time.Now()
+	p1, p2, err := Prepare(nil, b1, b2, opt)
+	if err != nil {
+		return nil, err
+	}
+	indexTime := time.Since(t0)
+	res, err := compareWithIndexes(p1.Bank, p2.Bank, p1.Ix, p2.Ix, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.IndexTime += indexTime
+	return res, nil
+}
+
+// CompareWithIndex runs the pipeline on prepared banks, skipping the
+// index builds entirely (Metrics.IndexTime covers only work done here,
+// e.g. the reverse-complement index of a BothStrands run). Both
+// prepared values must match opt exactly — same bank, same derived
+// index options — or an error is returned (see the package comment's
+// reuse contract).
+func CompareWithIndex(p1, p2 *ixcache.Prepared, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := compareOneStrand(b1, b2, opt)
+	o1, o2 := opt.IndexOptions()
+	if !p1.MatchesOptions(o1) {
+		return nil, fmt.Errorf("core: prepared bank 1 does not match options (want W=%d, sample step %d, dust %v)",
+			o1.W, o1.SampleStep, o1.Dust != nil)
+	}
+	if !p2.MatchesOptions(o2) {
+		return nil, fmt.Errorf("core: prepared bank 2 does not match options (want W=%d, dust %v)",
+			o2.W, o2.Dust != nil)
+	}
+	return compareWithIndexes(p1.Bank, p2.Bank, p1.Ix, p2.Ix, opt)
+}
+
+// compareWithIndexes is the shared engine body: steps 2–4 on prebuilt
+// indexes, plus the reverse-complement pass (whose transient bank gets
+// a fresh index — bank 1's index is reused for it).
+func compareWithIndexes(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) (*Result, error) {
+	res, err := compareOneStrand(b1, b2, ix1, ix2, opt)
 	if err != nil {
 		return nil, err
 	}
 	if opt.Strand == BothStrands {
 		rc := b2.ReverseComplement()
-		rcRes, err := compareOneStrand(b1, rc, opt)
+		t0 := time.Now()
+		_, o2 := opt.IndexOptions()
+		rcIx := index.Build(rc, o2)
+		rcIndexTime := time.Since(t0)
+		rcRes, err := compareOneStrand(b1, rc, ix1, rcIx, opt)
 		if err != nil {
 			return nil, err
 		}
+		rcRes.Metrics.IndexTime += rcIndexTime
 		// Map reverse-complement coordinates back onto the original
 		// bank-2 records: offsets reflect within each sequence.
 		for i := range rcRes.Alignments {
@@ -231,28 +332,16 @@ func (m *Metrics) add(o *Metrics) {
 	m.Subthreshold += o.Subthreshold
 }
 
-func compareOneStrand(b1, b2 *bank.Bank, opt Options) (*Result, error) {
+func compareOneStrand(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) (*Result, error) {
 	var met Metrics
 
-	// ---- step 1: bank indexing ----
-	t0 := time.Now()
-	var masker *dust.Masker
-	if opt.Dust {
-		masker = dust.New(opt.DustWindow, opt.DustThreshold)
-	}
-	opts1 := index.Options{W: opt.W, Dust: masker}
-	if opt.Asymmetric {
-		opts1.SampleStep = 2
-	}
-	ix1 := index.Build(b1, opts1)
-	ix2 := index.Build(b2, index.Options{W: opt.W, Dust: masker})
-	met.IndexTime = time.Since(t0)
+	// ---- step 1 happened elsewhere: the indexes arrive prebuilt ----
 	met.IndexedBank1 = ix1.Indexed
 	met.IndexedBank2 = ix2.Indexed
 	met.MaskedSeeds = ix1.MaskedOut + ix2.MaskedOut
 
 	// ---- step 2: ordered hit extensions ----
-	t0 = time.Now()
+	t0 := time.Now()
 	hsps, st2 := step2(b1, b2, ix1, ix2, opt)
 	met.HitPairs = st2.hitPairs
 	met.Extensions = st2.stats.Extensions

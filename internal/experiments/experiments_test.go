@@ -45,6 +45,33 @@ func TestRunPairCached(t *testing.T) {
 	}
 }
 
+// TestIndexBuiltOncePerBankAcrossPairs is the acceptance assertion of
+// the prepared-bank subsystem: a multi-pair workload sharing a subject
+// bank builds each (bank, options) index exactly once for the life of
+// the harness, however many rows reference it.
+func TestIndexBuiltOncePerBankAcrossPairs(t *testing.T) {
+	var buf bytes.Buffer
+	h := tinyHarness(&buf)
+	h.RunPair(Pair{simulate.EST1, simulate.EST2})
+	h.RunPair(Pair{simulate.EST1, simulate.EST3})
+	h.RunPair(Pair{simulate.EST1, simulate.EST5})
+	c := h.IndexCache()
+	if got := c.Builds(); got != 4 {
+		t.Errorf("builds = %d, want 4 (EST1, EST2, EST3, EST5 once each)", got)
+	}
+	if got := c.Lookups(); got != 6 {
+		t.Errorf("lookups = %d, want 6 (two per pair)", got)
+	}
+	// The ablations on an already-seen pair add only the option
+	// variants they introduce, never a rebuild of an existing key:
+	// A1 (ordered on/off) uses the default options twice — zero new
+	// builds; A4 likewise runs EST3/EST4 with default options.
+	h.OrderedRule() // EST1 vs EST2, default options again
+	if got := c.Builds(); got != 4 {
+		t.Errorf("A1 rebuilt a cached index: builds = %d, want 4", got)
+	}
+}
+
 func TestDatasetsTable(t *testing.T) {
 	var buf bytes.Buffer
 	h := tinyHarness(&buf)

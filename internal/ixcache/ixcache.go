@@ -1,0 +1,236 @@
+// Package ixcache turns the bank index from a per-call temporary into a
+// persistent, shared artifact: a prepared-bank session subsystem for the
+// ORIS reproduction.
+//
+// The ordered-index design front-loads work into the index build so that
+// intensive all-vs-all comparison amortizes it (PAPER.md; DESIGN.md §2
+// records that the counting-sort CSR build deliberately does *more* work
+// than the legacy chain build in exchange for faster scans). That trade
+// only pays off if a built index is reused. This package provides the two
+// pieces callers need:
+//
+//   - Prepared — a bank paired with the immutable index.Index built from
+//     it for one exact index.Options value;
+//   - Cache — a concurrency-safe, size-bounded LRU keyed by
+//     (bank identity, W, SampleStep, SamplePhase, dust parameters), with
+//     single-flight semantics so concurrent callers share one build per
+//     (bank, options) pair.
+//
+// # Reuse contract
+//
+// A built index.Index is immutable after Build returns: nothing in this
+// repository writes to its arrays, so any number of goroutines may read
+// one Index (and therefore one Prepared) concurrently without locking.
+// An Index is valid only for the exact (bank, Options) pair it was built
+// from: the bank value it captured (banks are immutable, so identity is
+// the right notion of sameness) and the exact seed length, sampling
+// schedule, and dust parameters. Comparing with an index built for
+// different options silently changes which seeds exist — which is why
+// core.CompareWithIndex and blat.CompareWithIndex verify the match and
+// refuse mismatched indexes instead of producing wrong output.
+//
+// Options.Workers is deliberately NOT part of the cache key: the CSR
+// build is canonical — byte-identical output for any worker count
+// (DESIGN.md §2) — so builds requested with different parallelism are the
+// same artifact.
+package ixcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bank"
+	"repro/internal/index"
+)
+
+// DefaultMaxEntries is the cache bound used when New is given a
+// non-positive size. Each entry retains its bank's full CSR index
+// (≈ 20 bytes per indexed position, DESIGN.md §3), so the bound is a
+// working-set knob, not a correctness one.
+const DefaultMaxEntries = 32
+
+// Prepared pairs a bank with the immutable index built from it. The
+// fields are exported for read access; construct values with Prepare or
+// Cache.Get so Ix really was built from Bank.
+type Prepared struct {
+	Bank *bank.Bank
+	Ix   *index.Index
+}
+
+// Prepare builds a bank's index directly, without a cache. It is the
+// one-shot constructor; long-lived callers holding many banks should go
+// through Cache.Get.
+func Prepare(b *bank.Bank, opts index.Options) *Prepared {
+	return &Prepared{Bank: b, Ix: index.Build(b, opts)}
+}
+
+// MatchesOptions reports whether p is a self-consistent prepared value
+// (its index really was built from its bank) built with exactly these
+// options — the validity test of the reuse contract. Options compare by
+// their cache-key projection (Workers excluded; dust maskers compared
+// by parameter value, not identity).
+func (p *Prepared) MatchesOptions(opts index.Options) bool {
+	return p != nil && p.Ix != nil && p.Ix.Bank == p.Bank &&
+		optionsKey(p.Ix.Options()) == optionsKey(opts)
+}
+
+// optKey is the comparable projection of index.Options used in cache
+// keys: everything that changes the built index, nothing that doesn't.
+type optKey struct {
+	w             int
+	sampleStep    int
+	samplePhase   int
+	dust          bool
+	dustWindow    int
+	dustThreshold float64
+}
+
+// optionsKey normalizes opts the same way index.Build does (SampleStep
+// < 1 means 1; SamplePhase reduced mod SampleStep) so equivalent option
+// values alias to one cache entry.
+func optionsKey(o index.Options) optKey {
+	step := o.SampleStep
+	if step < 1 {
+		step = 1
+	}
+	phase := o.SamplePhase % step
+	if phase < 0 {
+		phase += step
+	}
+	k := optKey{w: o.W, sampleStep: step, samplePhase: phase}
+	if o.Dust != nil {
+		k.dust = true
+		k.dustWindow = o.Dust.Window
+		k.dustThreshold = o.Dust.Threshold
+	}
+	return k
+}
+
+// Key identifies one (bank, options) build in a Cache. Bank identity is
+// pointer identity: banks are immutable once constructed, so two equal
+// pointers always denote the same content, and two different banks never
+// share an entry even if their contents happen to coincide.
+type Key struct {
+	bank *bank.Bank
+	opts optKey
+}
+
+// KeyFor derives the cache key for a (bank, options) pair.
+func KeyFor(b *bank.Bank, opts index.Options) Key {
+	return Key{bank: b, opts: optionsKey(opts)}
+}
+
+// entry is one cache slot. The sync.Once gives single-flight builds:
+// every concurrent Get for the same key shares the pointer to one entry
+// and exactly one of them runs the build; the rest block on the Once.
+// done flips after the build so eviction can tell finished entries from
+// in-flight ones (an in-flight entry must stay in the map, or a
+// concurrent Get of its key would start a duplicate build).
+type entry struct {
+	key   Key
+	opts  index.Options
+	once  sync.Once
+	ready *Prepared
+	done  atomic.Bool
+}
+
+// Cache is a concurrency-safe, size-bounded LRU of prepared banks.
+// The zero value is not ready; use New.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	items map[Key]*list.Element
+	order *list.List // front = most recently used
+
+	builds    atomic.Int64
+	lookups   atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache bounded to maxEntries prepared banks
+// (DefaultMaxEntries when non-positive). The bound can be exceeded
+// transiently while more than maxEntries keys are building — see
+// evictLocked.
+func New(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:   maxEntries,
+		items: make(map[Key]*list.Element),
+		order: list.New(),
+	}
+}
+
+// Get returns the prepared index for (b, opts), building it at most once
+// per key no matter how many goroutines ask concurrently. The returned
+// Prepared stays valid after eviction — eviction only drops the cache's
+// reference, never invalidates an index a caller already holds.
+func (c *Cache) Get(b *bank.Bank, opts index.Options) *Prepared {
+	c.lookups.Add(1)
+	k := KeyFor(b, opts)
+
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&entry{key: k, opts: opts})
+		c.items[k] = el
+	}
+	// Evict on every lookup, not just inserts: entries that were
+	// in-flight (unevictable) during an earlier overflow get collected
+	// by the next Get after their builds finish.
+	c.evictLocked()
+	e := el.Value.(*entry)
+	c.mu.Unlock()
+
+	// The build runs outside the cache lock so a slow build never blocks
+	// lookups of other keys; waiters for this key serialize on the Once.
+	e.once.Do(func() {
+		defer e.done.Store(true)
+		c.builds.Add(1)
+		e.ready = Prepare(b, e.opts)
+	})
+	return e.ready
+}
+
+// evictLocked enforces the size bound, walking from the LRU end and
+// skipping entries whose build is still in flight — evicting one would
+// let a concurrent Get of the same key start a duplicate build. The
+// cache may therefore briefly exceed its bound when more than max keys
+// are building at once; the bound is restored as builds finish and
+// later Gets evict.
+func (c *Cache) evictLocked() {
+	over := c.order.Len() - c.max
+	var el *list.Element
+	for el = c.order.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		if el.Value.(*entry).done.Load() {
+			c.order.Remove(el)
+			delete(c.items, el.Value.(*entry).key)
+			c.evictions.Add(1)
+			over--
+		}
+		el = prev
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Builds returns the total number of index builds the cache has run —
+// the amortization counter: a workload of P pairs over K distinct
+// (bank, options) keys should report exactly K.
+func (c *Cache) Builds() int64 { return c.builds.Load() }
+
+// Lookups returns the total number of Get calls.
+func (c *Cache) Lookups() int64 { return c.lookups.Load() }
+
+// Evictions returns how many entries the size bound has pushed out.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

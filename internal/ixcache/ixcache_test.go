@@ -1,0 +1,209 @@
+package ixcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/fasta"
+	"repro/internal/index"
+)
+
+func testBank(t testing.TB, name, seq string) *bank.Bank {
+	t.Helper()
+	return bank.New(name, []*fasta.Record{{ID: name, Seq: []byte(seq)}})
+}
+
+// randomishSeq builds a deterministic non-repetitive sequence long
+// enough to index at W=8 without tripping the dust filter everywhere.
+func randomishSeq(n int) string {
+	const alpha = "ACGT"
+	buf := make([]byte, n)
+	state := uint32(12345)
+	for i := range buf {
+		state = state*1664525 + 1013904223
+		buf[i] = alpha[state>>30]
+	}
+	return string(buf)
+}
+
+func TestGetBuildsOncePerKey(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	c := New(8)
+	p1 := c.Get(b, index.Options{W: 8})
+	p2 := c.Get(b, index.Options{W: 8})
+	if p1 != p2 {
+		t.Error("same key returned different Prepared values")
+	}
+	if got := c.Builds(); got != 1 {
+		t.Errorf("builds = %d, want 1", got)
+	}
+	if p1.Ix == nil || p1.Bank != b || p1.Ix.Bank != b {
+		t.Errorf("prepared not wired to its bank: %+v", p1)
+	}
+}
+
+// TestKeyDiscrimination pins the cache-key contract: options that change
+// the built index never alias, and options that cannot change it
+// (Workers, normalized sampling) do alias.
+func TestKeyDiscrimination(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	b2 := testBank(t, "b2", randomishSeq(512))
+	c := New(64)
+
+	base := index.Options{W: 8}
+	distinct := []index.Options{
+		base,
+		{W: 9},
+		{W: 8, SampleStep: 2},
+		{W: 8, SampleStep: 2, SamplePhase: 1},
+		{W: 8, SampleStep: 4},
+		{W: 8, Dust: dust.New(0, 0)},
+		{W: 8, Dust: dust.New(32, 0)},
+		{W: 8, Dust: dust.New(0, 1.5)},
+	}
+	for _, o := range distinct {
+		c.Get(b, o)
+	}
+	if got, want := c.Builds(), int64(len(distinct)); got != want {
+		t.Fatalf("distinct options: builds = %d, want %d", got, want)
+	}
+
+	// A different bank with identical options is a different key.
+	c.Get(b2, base)
+	if got := c.Builds(); got != int64(len(distinct))+1 {
+		t.Errorf("bank identity not in key: builds = %d", got)
+	}
+
+	// Aliases: Workers is excluded; SampleStep 0 and 1 both mean "every
+	// position"; a fresh dust.Masker with equal parameters is the same
+	// filter; SamplePhase is reduced mod SampleStep.
+	aliases := []index.Options{
+		{W: 8, Workers: 3},
+		{W: 8, SampleStep: 1},
+		{W: 8, SampleStep: 0},
+	}
+	before := c.Builds()
+	for _, o := range aliases {
+		c.Get(b, o)
+	}
+	c.Get(b, index.Options{W: 8, Dust: dust.New(0, 0)})
+	c.Get(b, index.Options{W: 8, SampleStep: 2, SamplePhase: 3})
+	if got := c.Builds(); got != before {
+		t.Errorf("equivalent options rebuilt: builds went %d -> %d", before, got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	c := New(2)
+	o1 := index.Options{W: 6}
+	o2 := index.Options{W: 7}
+	o3 := index.Options{W: 8}
+
+	c.Get(b, o1)
+	c.Get(b, o2)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Touch o1 so o2 is least-recently used, then insert o3.
+	c.Get(b, o1)
+	c.Get(b, o3)
+	if c.Len() != 2 {
+		t.Fatalf("len after eviction = %d, want 2", c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	before := c.Builds()
+	c.Get(b, o1) // still resident: no rebuild
+	if c.Builds() != before {
+		t.Error("LRU evicted the recently-used entry")
+	}
+	c.Get(b, o2) // evicted: rebuilds
+	if c.Builds() != before+1 {
+		t.Error("evicted entry was not rebuilt on next Get")
+	}
+}
+
+// TestConcurrentSingleBuild hammers one key from many goroutines; run
+// with -race this also proves the lookup path is data-race free.
+func TestConcurrentSingleBuild(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(4096))
+	c := New(4)
+	const goroutines = 32
+	var wg sync.WaitGroup
+	got := make([]*Prepared, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.Get(b, index.Options{W: 8, Workers: 1 + i%4})
+		}(i)
+	}
+	wg.Wait()
+	if c.Builds() != 1 {
+		t.Errorf("concurrent lookups ran %d builds, want 1", c.Builds())
+	}
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different Prepared", i)
+		}
+	}
+}
+
+// TestConcurrentDistinctKeys checks that the singleflight of one key
+// does not serialize other keys and that counters stay consistent.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(2048))
+	c := New(16)
+	ws := []int{6, 7, 8, 9}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 8; rep++ {
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c.Get(b, index.Options{W: w})
+			}(w)
+		}
+	}
+	wg.Wait()
+	if got, want := c.Builds(), int64(len(ws)); got != want {
+		t.Errorf("builds = %d, want %d", got, want)
+	}
+	if c.Len() != len(ws) {
+		t.Errorf("len = %d, want %d", c.Len(), len(ws))
+	}
+}
+
+func TestMatchesOptions(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	other := testBank(t, "other", randomishSeq(512))
+	p := Prepare(b, index.Options{W: 8, Dust: dust.New(0, 0)})
+
+	if !p.MatchesOptions(index.Options{W: 8, Dust: dust.New(64, 2.0)}) {
+		t.Error("equal dust parameters should match regardless of masker instance")
+	}
+	if !p.MatchesOptions(index.Options{W: 8, Dust: dust.New(0, 0), Workers: 7}) {
+		t.Error("Workers must not affect validity")
+	}
+	franken := &Prepared{Bank: other, Ix: p.Ix}
+	if franken.MatchesOptions(index.Options{W: 8, Dust: dust.New(0, 0)}) {
+		t.Error("an index paired with a bank it was not built from must not match")
+	}
+	if p.MatchesOptions(index.Options{W: 8}) {
+		t.Error("dust on/off must not match")
+	}
+	if p.MatchesOptions(index.Options{W: 9, Dust: dust.New(0, 0)}) {
+		t.Error("different W must not match")
+	}
+	if p.MatchesOptions(index.Options{W: 8, Dust: dust.New(0, 0), SampleStep: 2}) {
+		t.Error("different SampleStep must not match")
+	}
+	var nilP *Prepared
+	if nilP.MatchesOptions(index.Options{W: 8}) {
+		t.Error("nil Prepared must not match")
+	}
+}

@@ -4,16 +4,29 @@
 // for Intensive DNA Sequence Comparison" (HiCOMB/IPDPS 2008), together
 // with a faithful BLASTN-style baseline for the paper's benchmarks.
 //
-// Quick start:
+// Quick start — the prepared-bank session API is the idiomatic entry
+// point: build each bank's index once, then compare as many pairs as
+// the workload has (the intensive-comparison pattern the ORIS design
+// front-loads its index build for):
 //
-//	bankA, _ := scoris.LoadBank("A", "a.fasta")
-//	bankB, _ := scoris.LoadBank("B", "b.fasta")
+//	db, _ := scoris.LoadBank("db", "db.fasta")
+//	cache := scoris.NewIndexCache(0) // 0 = default bound
+//	opt := scoris.DefaultOptions()
+//	for _, path := range queryFiles {
+//		queries, _ := scoris.LoadBank(path, path)
+//		p1, p2, _ := scoris.Prepare(cache, db, queries, opt)
+//		res, _ := scoris.CompareWithIndex(p1, p2, opt) // db indexed once
+//		scoris.WriteM8(os.Stdout, res, db, queries)
+//	}
+//
+// For a one-shot pair, Compare bundles the build and the comparison:
+//
 //	res, _ := scoris.Compare(bankA, bankB, scoris.DefaultOptions())
-//	scoris.WriteM8(os.Stdout, res, bankA, bankB)
 //
 // The heavy lifting lives in internal packages; this package re-exports
-// the stable surface: bank loading, the two engines, m8 output, and the
-// sensitivity comparator used by the paper's evaluation.
+// the stable surface: bank loading, prepared-bank sessions, the
+// engines, m8 output, and the sensitivity comparator used by the
+// paper's evaluation.
 package scoris
 
 import (
@@ -26,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fasta"
 	"repro/internal/gapped"
+	"repro/internal/ixcache"
 	"repro/internal/render"
 	"repro/internal/sensemetric"
 	"repro/internal/tabular"
@@ -90,11 +104,50 @@ func ParseBank(name string, fastaText []byte) (*Bank, error) {
 	return bank.New(name, recs), nil
 }
 
-// Compare runs the ORIS pipeline (SCORIS-N) on two banks. Bank 1 plays
-// the subject/database role of the paper's experiments, bank 2 the
-// query role; E-values use m = bank-1 residues × n = query length.
+// Compare runs the ORIS pipeline (SCORIS-N) on two banks, building both
+// indexes in place. Bank 1 plays the subject/database role of the
+// paper's experiments, bank 2 the query role; E-values use m = bank-1
+// residues × n = query length. Workloads that reuse a bank across pairs
+// should Prepare once and call CompareWithIndex.
 func Compare(bank1, bank2 *Bank, opt Options) (*Result, error) {
 	return core.Compare(bank1, bank2, opt)
+}
+
+// Prepared pairs a bank with the immutable index built from it for one
+// exact Options derivation. A Prepared value is safe for any number of
+// concurrent readers and valid only for the (bank, options) it was
+// built from — see package ixcache for the full reuse contract.
+type Prepared = ixcache.Prepared
+
+// IndexCache is a concurrency-safe, size-bounded LRU of prepared banks;
+// concurrent callers share one index build per (bank, options) key.
+type IndexCache = ixcache.Cache
+
+// NewIndexCache returns a cache bounded to maxEntries prepared banks
+// (a default bound when maxEntries is non-positive).
+func NewIndexCache(maxEntries int) *IndexCache { return ixcache.New(maxEntries) }
+
+// Prepare builds — or fetches from cache, which may be nil for direct
+// builds — the prepared indexes Compare would derive for (bank1, bank2)
+// under opt. The results feed CompareWithIndex any number of times.
+func Prepare(cache *IndexCache, bank1, bank2 *Bank, opt Options) (p1, p2 *Prepared, err error) {
+	return core.Prepare(cache, bank1, bank2, opt)
+}
+
+// CompareWithIndex runs the ORIS pipeline on prepared banks, skipping
+// the index builds. Both prepared values must match opt exactly or an
+// error is returned.
+func CompareWithIndex(p1, p2 *Prepared, opt Options) (*Result, error) {
+	return core.CompareWithIndex(p1, p2, opt)
+}
+
+// BlastnSession is the baseline's prepared form: one database bank plus
+// reusable engine state, for searching many query banks against one db.
+type BlastnSession = blastn.Session
+
+// NewBlastnSession validates opt and prepares a session for db.
+func NewBlastnSession(db *Bank, opt BlastnOptions) (*BlastnSession, error) {
+	return blastn.NewSession(db, opt)
 }
 
 // CompareBlastn runs the BLASTN-style baseline: one full scan of bank 1

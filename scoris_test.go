@@ -58,6 +58,49 @@ func TestEndToEndCompare(t *testing.T) {
 	}
 }
 
+// TestPreparedSessionEndToEnd exercises the public prepared-bank API:
+// one cached db index serving two query banks, with output identical to
+// the one-shot Compare path.
+func TestPreparedSessionEndToEnd(t *testing.T) {
+	db := mustParse(t, "A", bankAText)
+	q1 := mustParse(t, "B", bankBText)
+	q2 := mustParse(t, "B2", bankBText)
+	opt := DefaultOptions()
+
+	cache := NewIndexCache(0)
+	for _, q := range []*Bank{q1, q2, q1} {
+		p1, p2, err := Prepare(cache, db, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompareWithIndex(p1, p2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Compare(db, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want bytes.Buffer
+		if err := WriteM8(&got, res, db, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteM8(&want, ref, db, q); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("prepared output differs from Compare:\n%s\nvs\n%s", got.String(), want.String())
+		}
+		if got.Len() == 0 {
+			t.Fatal("no m8 output for a planted homology")
+		}
+	}
+	// db, q1, q2 each built once; q1's second round was a cache hit.
+	if cache.Builds() != 3 {
+		t.Errorf("builds = %d, want 3", cache.Builds())
+	}
+}
+
 func TestEndToEndM8Output(t *testing.T) {
 	b1 := mustParse(t, "A", bankAText)
 	b2 := mustParse(t, "B", bankBText)
