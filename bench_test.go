@@ -25,11 +25,21 @@ func benchConfig() experiments.Config {
 	return experiments.Config{Scale: BenchScale, Workers: 1, Out: io.Discard}
 }
 
+// mustHarness builds the benchmark harness, panicking on the only
+// fallible input (an index store directory, unused here).
+func mustHarness() *experiments.Harness {
+	h, err := experiments.New(benchConfig())
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
 // BenchmarkTable1_BankGeneration regenerates the §3.2 data-set table:
 // all 11 synthetic banks plus the summary rows.
 func BenchmarkTable1_BankGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.Datasets()
 	}
 }
@@ -69,7 +79,7 @@ func BenchmarkFig3_BlastnESTCurve(b *testing.B) {
 // engines on all eight pairs, timed rows).
 func BenchmarkTable2_SpeedupEST(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SpeedupEST()
 	}
 }
@@ -78,7 +88,7 @@ func BenchmarkTable2_SpeedupEST(b *testing.B) {
 // table (six pairs, both engines).
 func BenchmarkTable3_SpeedupLarge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SpeedupLarge()
 	}
 }
@@ -90,7 +100,7 @@ func BenchmarkTable3_SpeedupLarge(b *testing.B) {
 // paper artefact has its regeneration entry point.
 func BenchmarkTable4_SensitivityESTScorisMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SensitivityEST()
 	}
 }
@@ -99,7 +109,7 @@ func BenchmarkTable4_SensitivityESTScorisMiss(b *testing.B) {
 // direction of the EST sensitivity comparison).
 func BenchmarkTable5_SensitivityESTBlastMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SensitivityEST()
 	}
 }
@@ -107,7 +117,7 @@ func BenchmarkTable5_SensitivityESTBlastMiss(b *testing.B) {
 // BenchmarkTable6_SensitivityLargeScorisMiss regenerates T6.
 func BenchmarkTable6_SensitivityLargeScorisMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SensitivityLarge()
 	}
 }
@@ -115,7 +125,7 @@ func BenchmarkTable6_SensitivityLargeScorisMiss(b *testing.B) {
 // BenchmarkTable7_SensitivityLargeBlastMiss regenerates T7.
 func BenchmarkTable7_SensitivityLargeBlastMiss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SensitivityLarge()
 	}
 }
@@ -124,7 +134,7 @@ func BenchmarkTable7_SensitivityLargeBlastMiss(b *testing.B) {
 // indexing).
 func BenchmarkAblation_Asymmetric10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.Asymmetric()
 	}
 }
@@ -132,7 +142,7 @@ func BenchmarkAblation_Asymmetric10(b *testing.B) {
 // BenchmarkAblation_ParallelStep2 regenerates X2 (§4 parallelism).
 func BenchmarkAblation_ParallelStep2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.Parallel()
 	}
 }
@@ -141,7 +151,7 @@ func BenchmarkAblation_ParallelStep2(b *testing.B) {
 // against naive enumeration + dedup).
 func BenchmarkAblation_OrderedRule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.OrderedRule()
 	}
 }
@@ -149,7 +159,7 @@ func BenchmarkAblation_OrderedRule(b *testing.B) {
 // BenchmarkAblation_WSweep regenerates A2 (seed length 9–13).
 func BenchmarkAblation_WSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.WSweep()
 	}
 }
@@ -158,7 +168,7 @@ func BenchmarkAblation_WSweep(b *testing.B) {
 // on/off).
 func BenchmarkAblation_DustFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.Dust()
 	}
 }
@@ -167,7 +177,7 @@ func BenchmarkAblation_DustFilter(b *testing.B) {
 // seed enumeration).
 func BenchmarkAblation_SeedOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.SeedOrder()
 	}
 }
@@ -176,7 +186,7 @@ func BenchmarkAblation_SeedOrder(b *testing.B) {
 // vs BLAT-style tile index).
 func BenchmarkExp_ThreeWayEngines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h := experiments.New(benchConfig())
+		h := mustHarness()
 		h.ThreeWay()
 	}
 }

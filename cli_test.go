@@ -1,6 +1,7 @@
 package scoris
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -67,6 +68,47 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 	diff, _ := runTool(t, "./cmd/m8diff", scorisOut, blastOut)
 	if !strings.Contains(diff, "missing from A") || !strings.Contains(diff, "missing from B") {
 		t.Errorf("m8diff output malformed:\n%s", diff)
+	}
+}
+
+// TestCLIIndexStoreWarmStart is the in-repo twin of the CI persistence
+// job: two scoris invocations sharing an -index-dir, where the second
+// must perform zero index builds (both indexes come off disk) and
+// still produce byte-identical output.
+func TestCLIIndexStoreWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+	ixDir := filepath.Join(dir, "ixstore")
+	coldOut := filepath.Join(dir, "cold.m8")
+	warmOut := filepath.Join(dir, "warm.m8")
+
+	_, cold := runTool(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", coldOut, "-index-dir", ixDir)
+	if !strings.Contains(cold, "index store: 2 builds") || !strings.Contains(cold, "0 disk hits") {
+		t.Errorf("cold run should build db+query indexes and hit nothing:\n%s", cold)
+	}
+
+	_, warm := runTool(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", warmOut, "-index-dir", ixDir)
+	if !strings.Contains(warm, "index store: 0 builds") || !strings.Contains(warm, "2 disk hits") {
+		t.Errorf("warm run must perform zero builds with 2 disk hits:\n%s", warm)
+	}
+
+	coldBytes, err := os.ReadFile(coldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBytes, err := os.ReadFile(warmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldBytes) == 0 || !bytes.Equal(coldBytes, warmBytes) {
+		t.Errorf("warm output differs from cold (cold %d bytes, warm %d bytes)",
+			len(coldBytes), len(warmBytes))
 	}
 }
 

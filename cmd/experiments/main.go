@@ -19,18 +19,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: datasets,fig3,speedup-est,speedup-large,sens-est,sens-large,asymmetric,parallel,ordered-rule,wsweep,dust,seed-order,threeway,all")
-		scale   = flag.Int("scale", 16, "bank size divisor relative to the paper")
-		workers = flag.Int("workers", 1, "ORIS worker goroutines (1 = paper-faithful single thread)")
-		check   = flag.Bool("check", false, "verify the paper's qualitative claims on the measured rows")
-		verbose = flag.Bool("v", false, "emit per-run metric comments")
+		exp      = flag.String("exp", "all", "comma-separated experiments: datasets,fig3,speedup-est,speedup-large,sens-est,sens-large,asymmetric,parallel,ordered-rule,wsweep,dust,seed-order,threeway,all")
+		scale    = flag.Int("scale", 16, "bank size divisor relative to the paper")
+		workers  = flag.Int("workers", 1, "ORIS worker goroutines (1 = paper-faithful single thread)")
+		check    = flag.Bool("check", false, "verify the paper's qualitative claims on the measured rows")
+		indexDir = flag.String("index-dir", "", "persistent on-disk index store; repeated runs at the same -scale reuse saved indexes instead of rebuilding")
+		verbose  = flag.Bool("v", false, "emit per-run metric comments")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Workers: *workers, Out: os.Stdout, Verbose: *verbose}
+	cfg := experiments.Config{Scale: *scale, Workers: *workers, Out: os.Stdout, Verbose: *verbose, IndexDir: *indexDir}
 	fmt.Printf("## Experiment run — scale 1/%d, %d worker(s), %s\n\n",
 		*scale, *workers, time.Now().Format("2006-01-02 15:04:05"))
-	h := experiments.New(cfg)
+	h, err := experiments.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	runners := map[string]func(){
 		"datasets":      h.Datasets,

@@ -74,6 +74,13 @@ type Options struct {
 	Workers int
 }
 
+// Normalized returns o in the canonical form Build uses and a built
+// index's Options() reports: SampleStep < 1 becomes 1 and SamplePhase
+// is reduced into [0, SampleStep). Cache keys and the on-disk store
+// derive their identity fields from this form so equivalent option
+// spellings alias to one artifact.
+func (o Options) Normalized() Options { return o.normalized() }
+
 func (o Options) normalized() Options {
 	if o.SampleStep < 1 {
 		o.SampleStep = 1
@@ -334,6 +341,107 @@ func runShards(workers int, fn func(sid int)) {
 		}(sid)
 	}
 	wg.Wait()
+}
+
+// Parts holds the serialized components of a built Index — exactly the
+// arrays and counters an on-disk store (package ixdisk) persists. The
+// slices may alias read-only memory (an mmap'd file section): nothing
+// in this package writes to a reassembled Index, per the immutability
+// contract above.
+type Parts struct {
+	Starts, Pos          []int32
+	Codes                []seed.Code
+	OccSeq, OccLo, OccHi []int32
+	Indexed              int
+	MaskedOut            int
+	SampledOut           int
+}
+
+// Parts returns the serializable components of ix. The slices are the
+// index's own arrays, not copies; callers must treat them as read-only.
+func (ix *Index) Parts() Parts {
+	return Parts{
+		Starts: ix.Starts, Pos: ix.Pos, Codes: ix.Codes,
+		OccSeq: ix.OccSeq, OccLo: ix.OccLo, OccHi: ix.OccHi,
+		Indexed: ix.Indexed, MaskedOut: ix.MaskedOut, SampledOut: ix.SampledOut,
+	}
+}
+
+// FromParts reassembles an Index from serialized components, as if
+// Build(b, opts) had produced it. It validates the structural
+// invariants that every accessor depends on — array lengths consistent
+// with W and Indexed, Starts a monotone prefix sum from 0 to Indexed,
+// Codes exactly the occupied-code directory — so a corrupted or
+// mismatched file cannot yield an Index whose hot loops read out of
+// bounds. Content-level integrity (the right positions for this bank)
+// is the storage layer's job: ixdisk checksums the file and keys it by
+// bank identity before calling FromParts.
+func FromParts(b *bank.Bank, opts Options, p Parts) (*Index, error) {
+	opts = opts.normalized()
+	if opts.W < 1 || opts.W > seed.MaxW {
+		return nil, fmt.Errorf("index: FromParts: invalid W=%d", opts.W)
+	}
+	n := seed.NumCodes(opts.W)
+	if len(p.Starts) != n+1 {
+		return nil, fmt.Errorf("index: FromParts: Starts has %d entries, want 4^%d+1=%d",
+			len(p.Starts), opts.W, n+1)
+	}
+	if p.Starts[0] != 0 {
+		return nil, fmt.Errorf("index: FromParts: Starts[0]=%d, want 0", p.Starts[0])
+	}
+	if len(p.Pos) != p.Indexed || int(p.Starts[n]) != p.Indexed {
+		return nil, fmt.Errorf("index: FromParts: Indexed=%d but len(Pos)=%d, Starts[end]=%d",
+			p.Indexed, len(p.Pos), p.Starts[n])
+	}
+	if len(p.OccSeq) != p.Indexed || len(p.OccLo) != p.Indexed || len(p.OccHi) != p.Indexed {
+		return nil, fmt.Errorf("index: FromParts: sidecar lengths %d/%d/%d, want Indexed=%d",
+			len(p.OccSeq), len(p.OccLo), len(p.OccHi), p.Indexed)
+	}
+	occupied := 0
+	for c := 0; c < n; c++ {
+		if p.Starts[c+1] < p.Starts[c] {
+			return nil, fmt.Errorf("index: FromParts: Starts not monotone at code %d", c)
+		}
+		if p.Starts[c+1] > p.Starts[c] {
+			if occupied >= len(p.Codes) || p.Codes[occupied] != seed.Code(c) {
+				return nil, fmt.Errorf("index: FromParts: Codes directory disagrees with Starts at code %d", c)
+			}
+			occupied++
+		}
+	}
+	if occupied != len(p.Codes) {
+		return nil, fmt.Errorf("index: FromParts: Codes has %d entries beyond the %d occupied codes",
+			len(p.Codes), occupied)
+	}
+	// Per-occurrence validation: every position must sit inside the
+	// bounds of the sequence its sidecar entry names, and the sidecar
+	// bounds must be that sequence's real bounds — so a hostile file
+	// can never make the hot extension loops (which trust OccLo/OccHi
+	// as scan limits) read outside the bank.
+	numSeqs := b.NumSeqs()
+	w32 := int32(opts.W)
+	for i, pos := range p.Pos {
+		s := p.OccSeq[i]
+		if s < 0 || int(s) >= numSeqs {
+			return nil, fmt.Errorf("index: FromParts: OccSeq[%d]=%d outside [0,%d)", i, s, numSeqs)
+		}
+		lo, hi := b.SeqBounds(int(s))
+		if p.OccLo[i] != lo || p.OccHi[i] != hi {
+			return nil, fmt.Errorf("index: FromParts: sidecar bounds [%d,%d) for position %d disagree with sequence %d bounds [%d,%d)",
+				p.OccLo[i], p.OccHi[i], pos, s, lo, hi)
+		}
+		if pos < lo || pos+w32 > hi {
+			return nil, fmt.Errorf("index: FromParts: position %d (W=%d) outside its sequence bounds [%d,%d)",
+				pos, opts.W, lo, hi)
+		}
+	}
+	return &Index{
+		Bank: b, W: opts.W,
+		Starts: p.Starts, Pos: p.Pos, Codes: p.Codes,
+		OccSeq: p.OccSeq, OccLo: p.OccLo, OccHi: p.OccHi,
+		Indexed: p.Indexed, MaskedOut: p.MaskedOut, SampledOut: p.SampledOut,
+		opts: opts,
+	}, nil
 }
 
 // Occ returns the occurrences of code c as a contiguous ascending slice

@@ -262,3 +262,39 @@ func BenchmarkBuildW11_1Mb(b *testing.B) {
 		Build(bk, Options{W: 11})
 	}
 }
+
+// TestFromPartsRejectsHostileSidecars: the reassembly constructor must
+// refuse sidecar data the hot extension loops would trust as scan
+// bounds, not just malformed Starts/Pos.
+func TestFromPartsRejectsHostileSidecars(t *testing.T) {
+	b := mkBank("ACGTACGTACGTACGT", "TTCGATCGATCGAA")
+	built := Build(b, Options{W: 4})
+	good := built.Parts()
+
+	corrupt := func(mutate func(p *Parts)) error {
+		p := good
+		p.Pos = append([]int32(nil), good.Pos...)
+		p.OccSeq = append([]int32(nil), good.OccSeq...)
+		p.OccLo = append([]int32(nil), good.OccLo...)
+		p.OccHi = append([]int32(nil), good.OccHi...)
+		mutate(&p)
+		_, err := FromParts(b, Options{W: 4}, p)
+		return err
+	}
+
+	if err := corrupt(func(p *Parts) {}); err != nil {
+		t.Fatalf("unmutated parts rejected: %v", err)
+	}
+	cases := map[string]func(p *Parts){
+		"seq-out-of-range":   func(p *Parts) { p.OccSeq[0] = 99 },
+		"negative-seq":       func(p *Parts) { p.OccSeq[0] = -1 },
+		"hi-past-data":       func(p *Parts) { p.OccHi[0] = int32(len(b.Data)) + 100 },
+		"lo-above-pos":       func(p *Parts) { p.OccLo[0] = p.Pos[0] + 1 },
+		"pos-window-past-hi": func(p *Parts) { p.Pos[0] = p.OccHi[0] - 1 },
+	}
+	for name, mutate := range cases {
+		if err := corrupt(mutate); err == nil {
+			t.Errorf("%s: hostile sidecar accepted", name)
+		}
+	}
+}

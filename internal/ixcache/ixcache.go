@@ -14,7 +14,9 @@
 //   - Cache — a concurrency-safe, size-bounded LRU keyed by
 //     (bank identity, W, SampleStep, SamplePhase, dust parameters), with
 //     single-flight semantics so concurrent callers share one build per
-//     (bank, options) pair.
+//     (bank, options) pair, and an optional persistent second tier
+//     (Store, implemented by package ixdisk) so the build amortizes
+//     across processes, not just within one.
 //
 // # Reuse contract
 //
@@ -86,6 +88,14 @@ type optKey struct {
 	dustThreshold float64
 }
 
+// SameKey reports whether two option values project to the same cache
+// key — the canonical "would these build the same index?" test, shared
+// with the on-disk store (package ixdisk) so the two tiers agree on
+// what counts as a match.
+func SameKey(a, b index.Options) bool {
+	return optionsKey(a) == optionsKey(b)
+}
+
 // optionsKey normalizes opts the same way index.Build does (SampleStep
 // < 1 means 1; SamplePhase reduced mod SampleStep) so equivalent option
 // values alias to one cache entry.
@@ -135,6 +145,18 @@ type entry struct {
 	done  atomic.Bool
 }
 
+// Store is an optional persistent second tier below the in-memory LRU:
+// Load returns a previously saved Prepared for exactly (b, opts), or
+// (nil, nil) on a clean miss; Save persists a freshly built one. A
+// non-nil Load error means a file existed but was rejected (corrupt,
+// wrong key) — the cache falls back to a fresh build and writes it
+// back, healing the store. Implementations must be safe for concurrent
+// use; package ixdisk provides the on-disk implementation.
+type Store interface {
+	Load(b *bank.Bank, opts index.Options) (*Prepared, error)
+	Save(p *Prepared) error
+}
+
 // Cache is a concurrency-safe, size-bounded LRU of prepared banks.
 // The zero value is not ready; use New.
 type Cache struct {
@@ -142,10 +164,13 @@ type Cache struct {
 	max   int
 	items map[Key]*list.Element
 	order *list.List // front = most recently used
+	store Store
 
 	builds    atomic.Int64
 	lookups   atomic.Int64
 	evictions atomic.Int64
+	diskHits  atomic.Int64
+	diskErrs  atomic.Int64
 }
 
 // New returns a cache bounded to maxEntries prepared banks
@@ -188,12 +213,55 @@ func (c *Cache) Get(b *bank.Bank, opts index.Options) *Prepared {
 
 	// The build runs outside the cache lock so a slow build never blocks
 	// lookups of other keys; waiters for this key serialize on the Once.
+	// Tier order on a memory miss: disk store (if attached), then a
+	// fresh build — so across processes an index is built once and
+	// loaded ever after.
+	var builtHere bool
 	e.once.Do(func() {
 		defer e.done.Store(true)
+		if s := c.getStore(); s != nil {
+			p, err := s.Load(b, e.opts)
+			switch {
+			case err != nil:
+				c.diskErrs.Add(1)
+			case p != nil:
+				c.diskHits.Add(1)
+				e.ready = p
+				return
+			}
+		}
 		c.builds.Add(1)
 		e.ready = Prepare(b, e.opts)
+		builtHere = true
 	})
+	// The write-back runs outside the Once, on the builder goroutine
+	// only: concurrent waiters get the ready index as soon as the build
+	// finishes instead of also waiting out the disk write. Save is
+	// atomic (temp + rename), so racing writers across caches or
+	// processes are last-wins over identical bytes.
+	if builtHere {
+		if s := c.getStore(); s != nil {
+			if err := s.Save(e.ready); err != nil {
+				c.diskErrs.Add(1)
+			}
+		}
+	}
 	return e.ready
+}
+
+// SetStore attaches a persistent second tier consulted on every
+// in-memory miss and written back after every build. Attach it before
+// sharing the cache; a nil store detaches the tier.
+func (c *Cache) SetStore(s Store) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+func (c *Cache) getStore() Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // evictLocked enforces the size bound, walking from the LRU end and
@@ -234,3 +302,13 @@ func (c *Cache) Lookups() int64 { return c.lookups.Load() }
 
 // Evictions returns how many entries the size bound has pushed out.
 func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// DiskHits returns how many misses were satisfied by the attached
+// Store instead of a build — the cross-process amortization counter: a
+// warm process over K keys should report K disk hits and zero Builds.
+func (c *Cache) DiskHits() int64 { return c.diskHits.Load() }
+
+// DiskErrors returns how many Store operations failed (rejected files
+// on Load, write failures on Save). Store errors never fail a Get —
+// the cache builds fresh — so this counter is the only trace.
+func (c *Cache) DiskErrors() int64 { return c.diskErrs.Load() }

@@ -1,6 +1,7 @@
 package ixcache
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -205,5 +206,111 @@ func TestMatchesOptions(t *testing.T) {
 	var nilP *Prepared
 	if nilP.MatchesOptions(index.Options{W: 8}) {
 		t.Error("nil Prepared must not match")
+	}
+}
+
+// fakeStore is an in-memory Store double that records traffic and can
+// inject load failures — the disk tier's cache-side contract tested
+// without any file I/O (package ixdisk tests the real files).
+type fakeStore struct {
+	mu      sync.Mutex
+	entries map[Key]*Prepared
+	loads   int
+	saves   int
+	failOne bool // next Load returns an injected error
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{entries: map[Key]*Prepared{}} }
+
+func (s *fakeStore) Load(b *bank.Bank, opts index.Options) (*Prepared, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	if s.failOne {
+		s.failOne = false
+		return nil, errInjected
+	}
+	return s.entries[KeyFor(b, opts)], nil
+}
+
+func (s *fakeStore) Save(p *Prepared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves++
+	s.entries[KeyFor(p.Bank, p.Ix.Options())] = p
+	return nil
+}
+
+var errInjected = fmt.Errorf("injected store failure")
+
+// TestStoreTierOrder pins the lookup order: memory LRU first (no store
+// traffic on a memory hit), then store, then build with write-back.
+func TestStoreTierOrder(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	s := newFakeStore()
+	c := New(8)
+	c.SetStore(s)
+
+	p1 := c.Get(b, index.Options{W: 8}) // miss everywhere: build + save
+	if c.Builds() != 1 || c.DiskHits() != 0 || s.loads != 1 || s.saves != 1 {
+		t.Fatalf("cold get: builds=%d diskHits=%d loads=%d saves=%d, want 1/0/1/1",
+			c.Builds(), c.DiskHits(), s.loads, s.saves)
+	}
+	p2 := c.Get(b, index.Options{W: 8}) // memory hit: store untouched
+	if p2 != p1 || s.loads != 1 {
+		t.Fatalf("memory hit touched the store (loads=%d) or returned a new value", s.loads)
+	}
+
+	c2 := New(8) // fresh memory tier, same store: disk hit, no build
+	c2.SetStore(s)
+	p3 := c2.Get(b, index.Options{W: 8})
+	if c2.Builds() != 0 || c2.DiskHits() != 1 {
+		t.Fatalf("warm cache: builds=%d diskHits=%d, want 0/1", c2.Builds(), c2.DiskHits())
+	}
+	if p3 != p1 {
+		t.Error("fake store should round-trip the identical Prepared")
+	}
+}
+
+// TestStoreErrorFallsBackToBuild: a failing store load never fails a
+// Get; the cache builds, counts the error, and still writes back.
+func TestStoreErrorFallsBackToBuild(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	s := newFakeStore()
+	s.failOne = true
+	c := New(8)
+	c.SetStore(s)
+	p := c.Get(b, index.Options{W: 8})
+	if p == nil || p.Ix == nil {
+		t.Fatal("Get returned no index despite store failure")
+	}
+	if c.Builds() != 1 || c.DiskErrors() != 1 || s.saves != 1 {
+		t.Fatalf("builds=%d diskErrs=%d saves=%d, want 1/1/1", c.Builds(), c.DiskErrors(), s.saves)
+	}
+}
+
+// TestStoreSingleFlight: concurrent Gets for one key produce exactly
+// one store load and either one disk hit or one build — the
+// single-flight contract extends to the disk tier.
+func TestStoreSingleFlight(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(2048))
+	s := newFakeStore()
+	s.Save(Prepare(b, index.Options{W: 8})) // pre-populate
+	baseline := s.saves
+	c := New(8)
+	c.SetStore(s)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Get(b, index.Options{W: 8})
+		}()
+	}
+	wg.Wait()
+	if s.loads != 1 || c.DiskHits() != 1 || c.Builds() != 0 || s.saves != baseline {
+		t.Errorf("loads=%d diskHits=%d builds=%d saves=%d, want 1/1/0/%d",
+			s.loads, c.DiskHits(), c.Builds(), s.saves, baseline)
 	}
 }

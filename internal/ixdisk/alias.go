@@ -1,0 +1,25 @@
+package ixdisk
+
+import "unsafe"
+
+// nativeLittleEndian reports whether the host stores integers little-
+// endian — the precondition for aliasing the file's LE sections as
+// typed slices instead of decoding them. Checked once at init.
+var nativeLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aliasWords reinterprets a validated little-endian byte section as a
+// typed 4-byte-element slice with zero copying. The caller guarantees
+// the section is 4-byte aligned (the format fixes every section offset
+// to a multiple of 4 from a page-aligned mmap base) and little-endian
+// order matches the host (nativeLittleEndian). The resulting slice is
+// read-only memory: writing through it faults, which the index
+// immutability contract already forbids.
+func aliasWords[T word](sec []byte) []T {
+	if len(sec) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&sec[0])), len(sec)/4)
+}

@@ -1,0 +1,80 @@
+package ixdisk
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/ixcache"
+)
+
+// benchPrepared builds a ~BenchScale-shaped index once for the save/
+// load benchmarks: 512 kb of bank at W=10, the half of the paper
+// configuration that fits a CI smoke run.
+func benchPrepared(b *testing.B) (*ixcache.Prepared, index.Options, string) {
+	b.Helper()
+	opts := index.Options{W: 10}
+	bk := genBank(b, "bench", 512<<10)
+	p := ixcache.Prepare(bk, opts)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench"+FileExt)
+	if err := Save(path, p); err != nil {
+		b.Fatal(err)
+	}
+	return p, opts, path
+}
+
+// BenchmarkIxdiskSave measures the serialization write path (temp file
+// + checksum + rename) against the build it replaces on later runs.
+func BenchmarkIxdiskSave(b *testing.B) {
+	p, _, path := benchPrepared(b)
+	fi, _ := os.Stat(path)
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Save(path, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIxdiskLoad measures the strict copying reader.
+func BenchmarkIxdiskLoad(b *testing.B) {
+	p, opts, path := benchPrepared(b)
+	fi, _ := os.Stat(path)
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path, p.Bank, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIxdiskLoadMapped measures the zero-copy mmap reader — the
+// cold-process warm-start path whose trajectory CI tracks.
+func BenchmarkIxdiskLoadMapped(b *testing.B) {
+	p, opts, path := benchPrepared(b)
+	fi, _ := os.Stat(path)
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, m, err := LoadMapped(path, p.Bank, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}
+
+// BenchmarkIxdiskBuild is the comparison column: what a cold process
+// pays when no store is attached.
+func BenchmarkIxdiskBuild(b *testing.B) {
+	p, opts, _ := benchPrepared(b)
+	b.SetBytes(int64(len(p.Bank.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ixcache.Prepare(p.Bank, opts)
+	}
+}

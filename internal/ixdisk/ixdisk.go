@@ -1,0 +1,648 @@
+// Package ixdisk persists built CSR bank indexes across processes: the
+// on-disk tier below package ixcache's in-memory LRU. The ordered-index
+// design front-loads work into the index build so intensive comparison
+// amortizes it (PAPER.md); PR 2 made one process amortize it across
+// pairs, and this package makes the artifact durable the way inverted-
+// index aligners treat their index — a database file built once per
+// bank, not a per-run allocation.
+//
+// # File format (version 1)
+//
+// One file holds one (bank, options) build, little-endian throughout
+// (DESIGN.md §7 has the byte-layout diagram):
+//
+//	magic "ORISIXDB", version, header size
+//	identity key: bank content CRC-64 + data length + sequence count,
+//	              W, SampleStep, SamplePhase, dust on/window/threshold
+//	counters: Indexed, MaskedOut, SampledOut
+//	section lengths, then the six CSR sections as flat 4-byte arrays:
+//	  Starts, Pos, Codes, OccSeq, OccLo, OccHi
+//	trailing CRC-32C over everything before it
+//
+// The header is 136 bytes and every section element is 4 bytes, so all
+// sections are 4-byte aligned from any page-aligned base — which is
+// what lets LoadMapped alias the mmap'd sections as []int32 with zero
+// copying. Load is the strict portable reader: it validates the same
+// invariants and copies the sections into fresh heap slices.
+//
+// # Invalidation
+//
+// A file is valid only for the exact (bank content, index options) it
+// was saved from. Load and LoadMapped reject, with descriptive errors:
+// wrong magic, unknown version, truncated or size-inconsistent files,
+// checksum mismatches, and key mismatches (different bank content, W,
+// sampling, or dust parameters). Rejection is always safe: the caller
+// (ixcache's disk tier) falls back to a fresh build and overwrites the
+// bad file, healing the store in place.
+package ixdisk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+	"repro/internal/seed"
+)
+
+// Format constants. Version bumps whenever the layout changes; readers
+// reject anything they were not compiled for rather than guess.
+const (
+	magic      = "ORISIXDB"
+	version    = 1
+	headerSize = 136
+	// FileExt is the extension DirStore gives its index files.
+	FileExt = ".orix"
+)
+
+// Sentinel errors; returned wrapped with file-specific detail, so test
+// with errors.Is.
+var (
+	ErrBadMagic    = errors.New("not an ORIS index file (bad magic)")
+	ErrVersion     = errors.New("unsupported index file version")
+	ErrTruncated   = errors.New("index file truncated or size-inconsistent")
+	ErrChecksum    = errors.New("index file checksum mismatch (corrupted)")
+	ErrKeyMismatch = errors.New("index file key does not match requested (bank, options)")
+)
+
+var (
+	crc32Table = crc32.MakeTable(crc32.Castagnoli)
+	crc64Table = crc64.MakeTable(crc64.ECMA)
+)
+
+// BankChecksum returns the content identity of a bank: CRC-64/ECMA over
+// its sentinel-bracketed coded Data. Sequence boundaries are part of
+// Data (the sentinels), so two banks with equal checksums and lengths
+// index identically; the bank's display name is deliberately excluded.
+func BankChecksum(b *bank.Bank) uint64 {
+	return crc64.Checksum(b.Data, crc64Table)
+}
+
+// header is the decoded fixed-size file header.
+type header struct {
+	bankCRC     uint64
+	dataLen     uint64
+	numSeqs     uint32
+	w           uint32
+	sampleStep  uint32
+	samplePhase uint32
+	dustOn      uint32
+	dustWindow  uint32
+	dustThresh  uint64 // float64 bits
+	indexed     uint64
+	maskedOut   uint64
+	sampledOut  uint64
+	secLen      [numSections]uint64 // element counts, not bytes
+}
+
+const numSections = 6 // Starts, Pos, Codes, OccSeq, OccLo, OccHi
+
+// keySize is the identity region of the header: bankCRC through
+// dustThresh. Hashed for DirStore filenames, so the filename and the
+// in-file key can never disagree.
+const keySize = 48
+
+// packKey serializes the identity fields in header order.
+func packKey(dst []byte, bankCRC, dataLen uint64, numSeqs uint32, o index.Options) {
+	o = o.Normalized()
+	binary.LittleEndian.PutUint64(dst[0:], bankCRC)
+	binary.LittleEndian.PutUint64(dst[8:], dataLen)
+	binary.LittleEndian.PutUint32(dst[16:], numSeqs)
+	binary.LittleEndian.PutUint32(dst[20:], uint32(o.W))
+	binary.LittleEndian.PutUint32(dst[24:], uint32(o.SampleStep))
+	binary.LittleEndian.PutUint32(dst[28:], uint32(o.SamplePhase))
+	var dustOn, dw uint32
+	var dt uint64
+	if o.Dust != nil {
+		dustOn = 1
+		dw = uint32(o.Dust.Window)
+		dt = math.Float64bits(o.Dust.Threshold)
+	}
+	binary.LittleEndian.PutUint32(dst[32:], dustOn)
+	binary.LittleEndian.PutUint32(dst[36:], dw)
+	binary.LittleEndian.PutUint64(dst[40:], dt)
+}
+
+// indexOptions reconstructs the index.Options recorded in the header.
+func (h *header) indexOptions() index.Options {
+	o := index.Options{
+		W:           int(h.w),
+		SampleStep:  int(h.sampleStep),
+		SamplePhase: int(h.samplePhase),
+	}
+	if h.dustOn != 0 {
+		o.Dust = dust.New(int(h.dustWindow), math.Float64frombits(h.dustThresh))
+	}
+	return o
+}
+
+// Save writes p's index to path in format version 1, atomically: the
+// bytes go to a temp file in the same directory which is renamed over
+// path only after a complete write, so a concurrent reader (or a
+// crashed writer) can never observe a half-written file under the
+// final name. There is no fsync — a torn file after power loss is
+// caught by the checksum and rebuilt, the store-heals-itself property.
+func Save(path string, p *ixcache.Prepared) error {
+	if p == nil || p.Bank == nil || p.Ix == nil || p.Ix.Bank != p.Bank {
+		return errors.New("ixdisk: Save: inconsistent prepared value")
+	}
+	ix := p.Ix
+	parts := ix.Parts()
+
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	binary.LittleEndian.PutUint32(hdr[12:], headerSize)
+	packKey(hdr[16:16+keySize], BankChecksum(p.Bank), uint64(len(p.Bank.Data)),
+		uint32(p.Bank.NumSeqs()), ix.Options())
+	binary.LittleEndian.PutUint64(hdr[64:], uint64(parts.Indexed))
+	binary.LittleEndian.PutUint64(hdr[72:], uint64(parts.MaskedOut))
+	binary.LittleEndian.PutUint64(hdr[80:], uint64(parts.SampledOut))
+	for i, n := range []int{
+		len(parts.Starts), len(parts.Pos), len(parts.Codes),
+		len(parts.OccSeq), len(parts.OccLo), len(parts.OccHi),
+	} {
+		binary.LittleEndian.PutUint64(hdr[88+8*i:], uint64(n))
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".orix-tmp-*")
+	if err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	sum := crc32.New(crc32Table)
+	w := io.MultiWriter(bw, sum)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.Starts); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.Pos); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.Codes); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.OccSeq); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.OccLo); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords(w, parts.OccHi); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	tmpName = "" // committed; disarm cleanup
+	return nil
+}
+
+// word covers the two 4-byte element types of the CSR sections.
+type word interface{ ~int32 | ~uint32 }
+
+// writeWords streams a section as little-endian 4-byte elements through
+// a fixed scratch buffer.
+func writeWords[T word](w io.Writer, vals []T) error {
+	const chunk = 8192
+	var buf [4 * chunk]byte
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(vals[i]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// decodeWords copies a validated byte section into a fresh slice —
+// Load's portable path, correct on any host byte order.
+func decodeWords[T word](sec []byte) []T {
+	out := make([]T, len(sec)/4)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(sec[4*i:]))
+	}
+	return out
+}
+
+// sections holds the validated raw byte views of the six CSR arrays,
+// aliasing the parsed buffer.
+type sections struct {
+	starts, pos, codes, occSeq, occLo, occHi []byte
+}
+
+// parseAndValidate checks everything short of CSR structure: framing
+// (magic, version, sizes), the whole-file checksum, and the identity
+// key against the requesting (bank, options). It returns byte views
+// into buf; converting them to typed slices is the caller's choice of
+// copy (Load) or alias (LoadMapped).
+func parseAndValidate(buf []byte, b *bank.Bank, opts index.Options) (*header, *sections, error) {
+	if len(buf) < headerSize+4 {
+		return nil, nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte minimum",
+			ErrTruncated, len(buf), headerSize+4)
+	}
+	if string(buf[0:8]) != magic {
+		return nil, nil, fmt.Errorf("ixdisk: %w: got %q", ErrBadMagic, buf[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != version {
+		return nil, nil, fmt.Errorf("ixdisk: %w: file is version %d, reader supports %d",
+			ErrVersion, v, version)
+	}
+	if hs := binary.LittleEndian.Uint32(buf[12:]); hs != headerSize {
+		return nil, nil, fmt.Errorf("ixdisk: %w: header size %d, want %d",
+			ErrVersion, hs, headerSize)
+	}
+
+	var h header
+	h.bankCRC = binary.LittleEndian.Uint64(buf[16:])
+	h.dataLen = binary.LittleEndian.Uint64(buf[24:])
+	h.numSeqs = binary.LittleEndian.Uint32(buf[32:])
+	h.w = binary.LittleEndian.Uint32(buf[36:])
+	h.sampleStep = binary.LittleEndian.Uint32(buf[40:])
+	h.samplePhase = binary.LittleEndian.Uint32(buf[44:])
+	h.dustOn = binary.LittleEndian.Uint32(buf[48:])
+	h.dustWindow = binary.LittleEndian.Uint32(buf[52:])
+	h.dustThresh = binary.LittleEndian.Uint64(buf[56:])
+	h.indexed = binary.LittleEndian.Uint64(buf[64:])
+	h.maskedOut = binary.LittleEndian.Uint64(buf[72:])
+	h.sampledOut = binary.LittleEndian.Uint64(buf[80:])
+	total := uint64(headerSize)
+	for i := range h.secLen {
+		h.secLen[i] = binary.LittleEndian.Uint64(buf[88+8*i:])
+		if h.secLen[i] > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("ixdisk: %w: section %d claims %d elements",
+				ErrTruncated, i, h.secLen[i])
+		}
+		total += 4 * h.secLen[i]
+	}
+	total += 4 // trailing checksum
+	if uint64(len(buf)) != total {
+		return nil, nil, fmt.Errorf("ixdisk: %w: file is %d bytes, header implies %d",
+			ErrTruncated, len(buf), total)
+	}
+
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.Checksum(buf[:len(buf)-4], crc32Table); got != want {
+		return nil, nil, fmt.Errorf("ixdisk: %w: computed %08x, file records %08x",
+			ErrChecksum, got, want)
+	}
+
+	// Identity: bank content first, then the option key through the
+	// same projection the in-memory cache uses.
+	if h.dataLen != uint64(len(b.Data)) || h.numSeqs != uint32(b.NumSeqs()) ||
+		h.bankCRC != BankChecksum(b) {
+		return nil, nil, fmt.Errorf("ixdisk: %w: file indexes a different bank "+
+			"(crc %016x/%d bytes/%d seqs, requested bank %q is %016x/%d/%d)",
+			ErrKeyMismatch, h.bankCRC, h.dataLen, h.numSeqs,
+			b.Name, BankChecksum(b), len(b.Data), b.NumSeqs())
+	}
+	if !ixcache.SameKey(h.indexOptions(), opts) {
+		o := opts.Normalized()
+		return nil, nil, fmt.Errorf("ixdisk: %w: file built with W=%d step=%d/%d dust=%v, "+
+			"requested W=%d step=%d/%d dust=%v",
+			ErrKeyMismatch, h.w, h.sampleStep, h.samplePhase, h.dustOn != 0,
+			o.W, o.SampleStep, o.SamplePhase, o.Dust != nil)
+	}
+
+	var s sections
+	off := uint64(headerSize)
+	for i, dst := range []*[]byte{&s.starts, &s.pos, &s.codes, &s.occSeq, &s.occLo, &s.occHi} {
+		n := 4 * h.secLen[i]
+		*dst = buf[off : off+n]
+		off += n
+	}
+	return &h, &s, nil
+}
+
+// prepared assembles the final value from validated sections already
+// converted to typed slices.
+func (h *header) prepared(b *bank.Bank, starts, pos []int32, codes []seed.Code,
+	occSeq, occLo, occHi []int32) (*ixcache.Prepared, error) {
+	ix, err := index.FromParts(b, h.indexOptions(), index.Parts{
+		Starts: starts, Pos: pos, Codes: codes,
+		OccSeq: occSeq, OccLo: occLo, OccHi: occHi,
+		Indexed:    int(h.indexed),
+		MaskedOut:  int(h.maskedOut),
+		SampledOut: int(h.sampledOut),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ixcache.Prepared{Bank: b, Ix: ix}, nil
+}
+
+// Load reads, validates, and copies an index file into a fresh
+// Prepared for bank b. It is the strict portable reader: every framing,
+// checksum, structural, and key invariant is checked before any slice
+// is handed to the engines, and the returned index owns its memory
+// (nothing aliases the file).
+func Load(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h, s, err := parseAndValidate(buf, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	return h.prepared(b,
+		decodeWords[int32](s.starts), decodeWords[int32](s.pos),
+		decodeWords[seed.Code](s.codes), decodeWords[int32](s.occSeq),
+		decodeWords[int32](s.occLo), decodeWords[int32](s.occHi))
+}
+
+// Mapping owns the mmap'd region backing a LoadMapped index. Close
+// releases it — after which every slice of the index it backed is
+// invalid and must not be touched (see DESIGN.md §7 on the aliasing
+// caveats). A no-op Mapping (from the fallback path) closes safely.
+type Mapping struct {
+	data []byte
+	once sync.Once
+	err  error
+}
+
+// Close unmaps the region. Safe to call more than once.
+func (m *Mapping) Close() error {
+	m.once.Do(func() {
+		if m.data != nil {
+			m.err = munmap(m.data)
+			m.data = nil
+		}
+	})
+	return m.err
+}
+
+// Mapped reports whether the load actually aliased an mmap'd file (as
+// opposed to the copying fallback).
+func (m *Mapping) Mapped() bool { return m.data != nil }
+
+// LoadMapped validates an index file exactly like Load but aliases the
+// int32 sections directly over the mmap'd bytes — zero copy, zero
+// allocation proportional to index size — so a cold process skips both
+// the build and the copy. The returned Mapping must outlive every use
+// of the index; pages fault in lazily on first touch (the up-front
+// checksum pass does touch each page once, the price of strictness).
+//
+// On hosts where aliasing is impossible (no mmap, or big-endian byte
+// order) it falls back to Load and returns a non-mapped Mapping.
+func LoadMapped(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, *Mapping, error) {
+	if !mmapSupported || !nativeLittleEndian {
+		p, err := Load(path, b, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, &Mapping{}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi.Size() > math.MaxInt32*8 {
+		return nil, nil, fmt.Errorf("ixdisk: %w: file is %d bytes", ErrTruncated, fi.Size())
+	}
+	if fi.Size() == 0 {
+		// mmap of an empty file is an error on most platforms; report
+		// the truncation directly.
+		return nil, nil, fmt.Errorf("ixdisk: %w: file is empty", ErrTruncated)
+	}
+	data, err := mmapFile(f, int(fi.Size()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("ixdisk: mmap %s: %w", path, err)
+	}
+	m := &Mapping{data: data}
+	h, s, err := parseAndValidate(data, b, opts)
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	p, err := h.prepared(b,
+		aliasWords[int32](s.starts), aliasWords[int32](s.pos),
+		aliasWords[seed.Code](s.codes), aliasWords[int32](s.occSeq),
+		aliasWords[int32](s.occLo), aliasWords[int32](s.occHi))
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+// sanitizeName keeps a bank name filesystem-safe for DirStore paths.
+// Purely cosmetic — identity lives in the key hash, not the name.
+func sanitizeName(name string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	if len(mapped) > 40 {
+		mapped = mapped[:40]
+	}
+	if mapped == "" {
+		mapped = "bank"
+	}
+	return mapped
+}
+
+// DirStore is the ixcache.Store implementation over a directory: one
+// file per (bank content, options) key, named by the bank's display
+// name plus a CRC-64 of the identity key, so concurrent processes
+// sharing the directory agree on paths without coordination (Save's
+// atomic rename makes concurrent writers last-wins, both writing
+// identical bytes).
+//
+// By default loads go through LoadMapped where the platform supports
+// it; SetMapped(false) forces the copying reader. Mappings opened by a
+// mapped store stay alive until Close — closing invalidates every
+// index the store has loaded, so long-lived callers (CLI sessions,
+// the experiment harness) simply let process exit reclaim them.
+type DirStore struct {
+	dir    string
+	mapped bool
+
+	mu       sync.Mutex
+	bankCRCs map[*bank.Bank]uint64
+	loaded   map[string]*loadedEntry
+	maps     []*Mapping
+}
+
+// loadedEntry memoizes one successful load per path, so LRU
+// evict-and-reload cycles in a bounded cache above the store return
+// the already-validated index instead of mapping (and checksumming)
+// the same file again — keeping the number of live mappings bounded
+// by the number of distinct keys, not the number of reloads. Safe
+// because a path encodes the (bank content, options) key and saved
+// files for one key are byte-identical; the memo is keyed on the bank
+// pointer too, since a Prepared binds to the requesting bank value.
+type loadedEntry struct {
+	bank *bank.Bank
+	prep *ixcache.Prepared
+}
+
+// NewDirStore creates the directory if needed and returns a store
+// rooted there, memory-mapped where supported.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ixdisk: %w", err)
+	}
+	return &DirStore{
+		dir:      dir,
+		mapped:   mmapSupported && nativeLittleEndian,
+		bankCRCs: map[*bank.Bank]uint64{},
+		loaded:   map[string]*loadedEntry{},
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// SetMapped toggles mmap-backed loads (no-op toward true on platforms
+// without support). Call before sharing the store.
+func (s *DirStore) SetMapped(on bool) {
+	s.mu.Lock()
+	s.mapped = on && mmapSupported && nativeLittleEndian
+	s.mu.Unlock()
+}
+
+// bankChecksum caches the O(N) content checksum per bank value, so a
+// store consulted for many (bank, options) keys pays it once per bank.
+func (s *DirStore) bankChecksum(b *bank.Bank) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	crc, ok := s.bankCRCs[b]
+	if !ok {
+		crc = BankChecksum(b)
+		s.bankCRCs[b] = crc
+	}
+	return crc
+}
+
+// Path returns the file a (bank, options) key maps to. Exported so
+// tests and operational scripts can inspect or corrupt specific
+// entries.
+func (s *DirStore) Path(b *bank.Bank, opts index.Options) string {
+	var key [keySize]byte
+	packKey(key[:], s.bankChecksum(b), uint64(len(b.Data)), uint32(b.NumSeqs()), opts)
+	h := crc64.Checksum(key[:], crc64Table)
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x%s", sanitizeName(b.Name), h, FileExt))
+}
+
+// Load implements ixcache.Store: (nil, nil) when no file exists for the
+// key, the validated Prepared on success, and a descriptive error when
+// a file exists but is rejected (the cache then rebuilds and Save
+// overwrites it).
+func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
+	path := s.Path(b, opts)
+	s.mu.Lock()
+	if e, ok := s.loaded[path]; ok && e.bank == b && e.prep.MatchesOptions(opts) {
+		s.mu.Unlock()
+		return e.prep, nil
+	}
+	mapped := s.mapped
+	s.mu.Unlock()
+
+	var p *ixcache.Prepared
+	var m *Mapping
+	var err error
+	if mapped {
+		p, m, err = LoadMapped(path, b, opts)
+	} else {
+		p, err = Load(path, b, opts)
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.loaded[path] = &loadedEntry{bank: b, prep: p}
+	if m != nil {
+		// A superseded entry's mapping (same path, different bank
+		// pointer) stays in maps: its Prepared may still be referenced,
+		// so it is only released at Close.
+		s.maps = append(s.maps, m)
+	}
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Save implements ixcache.Store: persist a freshly built index under
+// its key's path.
+func (s *DirStore) Save(p *ixcache.Prepared) error {
+	if p == nil || p.Bank == nil || p.Ix == nil {
+		return errors.New("ixdisk: DirStore.Save: nil prepared value")
+	}
+	return Save(s.Path(p.Bank, p.Ix.Options()), p)
+}
+
+// Close releases every mapping the store opened. Every mmap-backed
+// index loaded through the store is invalid afterwards; only call this
+// once nothing can touch them again.
+func (s *DirStore) Close() error {
+	s.mu.Lock()
+	maps := s.maps
+	s.maps = nil
+	s.loaded = map[string]*loadedEntry{}
+	s.mu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

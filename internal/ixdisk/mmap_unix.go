@@ -1,0 +1,22 @@
+//go:build unix
+
+package ixdisk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy LoadMapped path; on unsupported
+// platforms LoadMapped degrades to the copying Load.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and private: the index never
+// writes, and MAP_PRIVATE keeps later file replacement (Save's atomic
+// rename) from mutating live mappings — the old inode stays alive until
+// munmap.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

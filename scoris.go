@@ -40,6 +40,7 @@ import (
 	"repro/internal/fasta"
 	"repro/internal/gapped"
 	"repro/internal/ixcache"
+	"repro/internal/ixdisk"
 	"repro/internal/render"
 	"repro/internal/sensemetric"
 	"repro/internal/tabular"
@@ -126,6 +127,27 @@ type IndexCache = ixcache.Cache
 // NewIndexCache returns a cache bounded to maxEntries prepared banks
 // (a default bound when maxEntries is non-positive).
 func NewIndexCache(maxEntries int) *IndexCache { return ixcache.New(maxEntries) }
+
+// IndexStore is the persistent second tier an IndexCache consults below
+// its in-memory LRU (lookup order: memory → store → build, with
+// write-back), so index builds amortize across processes.
+type IndexStore = ixcache.Store
+
+// DirIndexStore is the on-disk IndexStore implementation: one
+// versioned, checksummed file per (bank content, index options) key,
+// memory-mapped on load where the platform supports it. See
+// DESIGN.md §7 for the format and invalidation rules.
+type DirIndexStore = ixdisk.DirStore
+
+// NewDirIndexStore returns an on-disk index store rooted at dir
+// (created if absent). Attach it with IndexCache.SetStore; repeated
+// processes comparing against the same banks then skip every index
+// build after the first:
+//
+//	cache := scoris.NewIndexCache(0)
+//	store, _ := scoris.NewDirIndexStore(".scoris-index")
+//	cache.SetStore(store)
+func NewDirIndexStore(dir string) (*DirIndexStore, error) { return ixdisk.NewDirStore(dir) }
 
 // Prepare builds — or fetches from cache, which may be nil for direct
 // builds — the prepared indexes Compare would derive for (bank1, bank2)
