@@ -49,12 +49,12 @@ func main() {
 
 	// Parity with scoris -index-dir: validate/create the directory so
 	// shared invocation scripts work, but persist nothing — BLASTN has
-	// no bank index to store (DESIGN.md §7).
+	// no bank index to store (DESIGN.md §7). Warn unconditionally:
+	// silently accepting the flag would let users believe BLASTN runs
+	// were warm-started when nothing of the sort happens.
 	if *indexDir != "" {
 		fatal(os.MkdirAll(*indexDir, 0o755))
-		if *verbose {
-			fmt.Fprintln(os.Stderr, "goblastn: -index-dir accepted for parity; the BLASTN baseline keeps no persistent bank index")
-		}
+		fmt.Fprintln(os.Stderr, "goblastn: warning: -index-dir has no effect (the BLASTN baseline keeps no persistent bank index); the flag is accepted for script parity with scoris only")
 	}
 
 	db, err := scoris.LoadBank("db", *dbPath)

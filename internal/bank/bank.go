@@ -10,6 +10,8 @@ package bank
 
 import (
 	"fmt"
+	"hash/crc64"
+	"sync"
 
 	"repro/internal/dna"
 	"repro/internal/fasta"
@@ -48,6 +50,11 @@ type Bank struct {
 	totalBases int
 	// validBases counts A/C/G/T only.
 	validBases int
+
+	// sumsOnce/seqSums memoize SeqChecksums: banks are immutable, so
+	// the per-sequence content identity is computed at most once.
+	sumsOnce sync.Once
+	seqSums  []uint64
 }
 
 // New builds a bank from FASTA records. Records may be empty; an empty
@@ -133,6 +140,53 @@ func (b *Bank) SeqCodes(i int) []byte { return b.Data[b.starts[i]:b.ends[i]] }
 // SeqAt returns the sequence index owning Data position p, or -1 if p is
 // a sentinel position.
 func (b *Bank) SeqAt(p int32) int32 { return b.seqID[p] }
+
+// seqSumTable is the CRC-64/ECMA polynomial shared by every bank
+// checksum in the repository (ixdisk uses the same one for whole-bank
+// content identity).
+var seqSumTable = crc64.MakeTable(crc64.ECMA)
+
+// SeqChecksums returns the per-sequence content identity of the bank:
+// CRC-64/ECMA over each sequence's coded bases, in bank order. The
+// vector is computed once and memoized (banks are immutable), so
+// repeated identity checks — the on-disk store consults it on every
+// lookup — cost a slice read, not an O(N) pass. Callers must treat the
+// returned slice as read-only.
+//
+// Together with PrefixLen this is what makes append-aware index reuse
+// sound: if the first k checksums of two banks agree (and the prefix
+// lengths agree), the first PrefixLen(k) bytes of their Data arrays are
+// identical up to CRC collision — sequence boundaries are pinned by the
+// per-sequence granularity — so Data coordinates below that boundary
+// mean the same thing in both banks.
+func (b *Bank) SeqChecksums() []uint64 {
+	b.sumsOnce.Do(func() {
+		sums := make([]uint64, b.NumSeqs())
+		for i := range sums {
+			sums[i] = crc64.Checksum(b.SeqCodes(i), seqSumTable)
+		}
+		b.seqSums = sums
+	})
+	return b.seqSums
+}
+
+// PrefixLen returns the length of the Data prefix covering the first k
+// sequences, including the sentinel that closes sequence k-1 — the
+// boundary from which an append-only extension scan must start. k may
+// equal NumSeqs (the whole Data array); k=0 is the leading sentinel
+// alone. Any window starting before PrefixLen(k) lies entirely inside
+// the first k sequences, and any window starting at or after it lies
+// entirely inside the appended suffix, because the sentinel at
+// PrefixLen(k)-1 invalidates every straddling window.
+func (b *Bank) PrefixLen(k int) int {
+	if k < 0 || k > b.NumSeqs() {
+		panic(fmt.Sprintf("bank %s: PrefixLen(%d) outside [0,%d]", b.Name, k, b.NumSeqs()))
+	}
+	if k == b.NumSeqs() {
+		return len(b.Data)
+	}
+	return int(b.starts[k])
+}
 
 // Coord translates a Data position into (sequence index, 0-based offset
 // within that sequence). It panics if p is a sentinel position, which

@@ -226,3 +226,81 @@ func TestPositionMapProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSeqChecksums(t *testing.T) {
+	b := mk("ACGT", "TTG", "ACGT")
+	sums := b.SeqChecksums()
+	if len(sums) != 3 {
+		t.Fatalf("len(SeqChecksums) = %d, want 3", len(sums))
+	}
+	if sums[0] != sums[2] {
+		t.Error("identical sequences must have identical checksums")
+	}
+	if sums[0] == sums[1] {
+		t.Error("different sequences should have different checksums")
+	}
+	// Memoized: same backing slice on every call.
+	if again := b.SeqChecksums(); &again[0] != &sums[0] {
+		t.Error("SeqChecksums not memoized")
+	}
+	// Checksums are per-sequence content identity: a bank holding the
+	// same sequences yields the same vector regardless of bank name.
+	other := New("other-name", []*fasta.Record{
+		{ID: "x", Seq: []byte("ACGT")},
+		{ID: "y", Seq: []byte("TTG")},
+		{ID: "z", Seq: []byte("ACGT")},
+	})
+	for i, s := range other.SeqChecksums() {
+		if s != sums[i] {
+			t.Errorf("checksum %d differs across content-identical banks", i)
+		}
+	}
+}
+
+func TestSeqChecksumsConcurrent(t *testing.T) {
+	b := mk("ACGTACGTAC", "TTGTTG")
+	done := make(chan []uint64, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- b.SeqChecksums() }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if got := <-done; &got[0] != &first[0] {
+			t.Fatal("concurrent SeqChecksums returned different slices")
+		}
+	}
+}
+
+// TestPrefixLen pins the append-boundary contract: the prefix covering
+// k sequences ends one past the sentinel closing sequence k-1, and a
+// bank built from the first k records has Data exactly equal to that
+// prefix of the longer bank.
+func TestPrefixLen(t *testing.T) {
+	long := mk("ACGT", "TTG", "CCCC")
+	short := mk("ACGT", "TTG")
+	if got := long.PrefixLen(0); got != 1 {
+		t.Errorf("PrefixLen(0) = %d, want 1 (leading sentinel)", got)
+	}
+	if got, want := long.PrefixLen(3), len(long.Data); got != want {
+		t.Errorf("PrefixLen(NumSeqs) = %d, want len(Data) = %d", got, want)
+	}
+	k := short.NumSeqs()
+	pl := long.PrefixLen(k)
+	if pl != len(short.Data) {
+		t.Fatalf("PrefixLen(%d) = %d, want len(short.Data) = %d", k, pl, len(short.Data))
+	}
+	for i := 0; i < pl; i++ {
+		if long.Data[i] != short.Data[i] {
+			t.Fatalf("Data prefix differs at %d", i)
+		}
+	}
+	if long.Data[pl-1] != Sentinel {
+		t.Error("prefix must end on a sentinel")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PrefixLen out of range did not panic")
+		}
+	}()
+	long.PrefixLen(4)
+}

@@ -93,6 +93,13 @@ type Config struct {
 	// repeated harness runs against the same generated banks skip
 	// every index build after the first run's.
 	IndexDir string
+	// IndexPolicy bounds what the store persists (zero = everything).
+	// Subject banks of each pair are marked as database banks, so a
+	// DBOnly policy keeps per-run query indexes out of the store.
+	IndexPolicy ixdisk.SavePolicy
+	// IndexGC bounds the store directory (zero = unbounded); applied
+	// automatically on saves, and on demand via Harness.StoreGC.
+	IndexGC ixdisk.GCConfig
 }
 
 // DefaultConfig returns the standard configuration (scale 16,
@@ -134,6 +141,7 @@ type Harness struct {
 	cfg   Config
 	ds    *simulate.DataSet
 	ix    *ixcache.Cache
+	store *ixdisk.DirStore
 	bns   map[*bank.Bank]*blastn.Session
 	cache map[Pair]*RowResult
 }
@@ -153,17 +161,33 @@ func New(cfg Config) (*Harness, error) {
 		cfg.Out = io.Discard
 	}
 	ix := ixcache.New(indexCacheSize)
+	ds := simulate.NewDataSet(cfg.Scale)
+	var store *ixdisk.DirStore
 	if cfg.IndexDir != "" {
-		store, err := ixdisk.NewDirStore(cfg.IndexDir)
+		var err error
+		store, err = ixdisk.NewDirStore(cfg.IndexDir)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: index store %s: %w", cfg.IndexDir, err)
+		}
+		store.SetSavePolicy(cfg.IndexPolicy)
+		store.SetGC(cfg.IndexGC)
+		// Mark every subject bank of the static pair tables up front:
+		// the save decision is made when a bank's index is first built,
+		// and several subjects (EST3, EST4, ...) are first built as the
+		// query side of an earlier row — marking at RunPair time would
+		// be too late for those under a DBOnly policy.
+		for _, pairs := range [][]Pair{ESTPairs, LargePairs, SensLargePairs} {
+			for _, p := range pairs {
+				store.MarkDB(ds.Get(p.A))
+			}
 		}
 		ix.SetStore(store)
 	}
 	return &Harness{
 		cfg:   cfg,
-		ds:    simulate.NewDataSet(cfg.Scale),
+		ds:    ds,
 		ix:    ix,
+		store: store,
 		bns:   map[*bank.Bank]*blastn.Session{},
 		cache: map[Pair]*RowResult{},
 	}, nil
@@ -176,6 +200,20 @@ func (h *Harness) DataSet() *simulate.DataSet { return h.ds }
 // is the build-once-per-key assertion hook used by tests).
 func (h *Harness) IndexCache() *ixcache.Cache { return h.ix }
 
+// Store exposes the on-disk index store, nil when Config.IndexDir was
+// empty — for the CLI's counter lines and explicit StoreGC calls.
+func (h *Harness) Store() *ixdisk.DirStore { return h.store }
+
+// StoreGC runs an explicit collection under Config.IndexGC. ok is
+// false when no store is attached.
+func (h *Harness) StoreGC() (st ixdisk.GCStats, ok bool, err error) {
+	if h.store == nil {
+		return ixdisk.GCStats{}, false, nil
+	}
+	st, err = h.store.GC()
+	return st, true, err
+}
+
 // compareORIS runs the ORIS engine on a pair through the shared index
 // cache. The timer wraps the cache fetch AND the comparison, so a row
 // that touches a (bank, options) key for the first time pays that
@@ -183,6 +221,9 @@ func (h *Harness) IndexCache() *ixcache.Cache { return h.ix }
 // end-to-end-comparable — while every later row reusing the key skips
 // it, which is the honest amortized cost of the intensive workload.
 func (h *Harness) compareORIS(a, b *bank.Bank, opt core.Options) (*core.Result, time.Duration) {
+	if h.store != nil {
+		h.store.MarkDB(a) // ad-hoc ablation subjects not in the pair tables
+	}
 	t0 := time.Now()
 	p1, p2, err := core.Prepare(h.ix, a, b, opt)
 	if err != nil {

@@ -1,11 +1,13 @@
 package index
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"repro/internal/bank"
+	"repro/internal/dust"
 	"repro/internal/fasta"
 	"repro/internal/simulate"
 )
@@ -137,3 +139,60 @@ func BenchmarkIndexScan_CSRvsChain(b *testing.B) {
 }
 
 var benchSink int64
+
+// benchBankSeqs builds a bank of count sequences of seqLen bases each,
+// so append-extension benchmarks can split it at record boundaries.
+func benchBankSeqs(count, seqLen int) *bank.Bank {
+	rng := rand.New(rand.NewSource(7))
+	letters := []byte("ACGT")
+	recs := make([]*fasta.Record, count)
+	for i := range recs {
+		sb := make([]byte, seqLen)
+		for j := range sb {
+			sb[j] = letters[rng.Intn(4)]
+		}
+		recs[i] = &fasta.Record{ID: fmt.Sprintf("r%d", i), Seq: sb}
+	}
+	return bank.New("bench", recs)
+}
+
+// BenchmarkIndexExtend measures the append-aware rebuild against the
+// cold full build it replaces (the acceptance shape of the store
+// lifecycle PR): a 4 Mb bank of 256 sequences grows by a suffix of 1,
+// 16, or 64 sequences, under the engine-default shape (W=11, dust on).
+// The extension pays the suffix scan/mask plus validation and memcpy
+// of the stored arrays, so its cost tracks the suffix size with a flat
+// bank-proportional floor (the copy), while the full build re-scans,
+// re-masks, and re-sorts the whole bank.
+func BenchmarkIndexExtend(b *testing.B) {
+	const (
+		seqs   = 256
+		seqLen = 1 << 14 // 256 × 16 Kb = 4 Mb total
+	)
+	full := benchBankSeqs(seqs, seqLen)
+	opts := Options{W: 11, Workers: 1, Dust: dust.New(0, 0)}
+	for _, suffix := range []int{1, 16, 64} {
+		k := seqs - suffix
+		b.Run(fmt.Sprintf("suffix%d", suffix), func(b *testing.B) {
+			// benchBankSeqs is deterministic, so the first k records of
+			// a fresh generation are exactly the full bank's prefix.
+			old := Build(benchBankSeqs(k, seqLen), opts).Parts()
+			boundary := full.PrefixLen(k)
+			b.SetBytes(int64(suffix * seqLen))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExtendFromParts(full, opts, old, boundary); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("fullBuild", func(b *testing.B) {
+		b.SetBytes(int64(seqs * seqLen))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Build(full, opts)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Incremental index construction for appended-to banks.
+//
+// The inverted-index lineage this repository follows (PAPERS.md: Wang &
+// Zhao 2013; Kucherov 2018) treats incremental database growth as the
+// normal case: an EST bank gains a few runs, a genome bank gains a
+// chromosome, and the index of everything that was already there is
+// still exactly right. The bank layout makes that literal: appending
+// sequences appends bytes after the final sentinel and touches nothing
+// before it, so every stored occurrence — position, owning sequence,
+// bounds — remains valid verbatim in the grown bank. ExtendFromParts
+// exploits this: it scans only the appended suffix and merges the new
+// occurrences into a rebuilt CSR around the stored ones, paying
+// O(suffix) scan work (plus the unavoidable O(bank) memcpy of the
+// stored arrays) instead of the full O(bank) scan-and-scatter.
+package index
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/bank"
+	"repro/internal/seed"
+)
+
+// ExtendFromParts builds the index Build(b, opts) would produce, given
+// the serialized parts of an index previously built (with the same
+// options key) over the bank prefix of length oldDataLen — the first k
+// sequences of b, as recorded by bank.PrefixLen(k). Only the appended
+// suffix Data[oldDataLen:] is scanned, encoded, and dust-masked; the
+// stored occurrences are copied through group-wise. The output is
+// byte-identical to a cold full build:
+//
+//   - Coordinates are append-stable: the suffix begins after the
+//     sentinel closing the prefix, so no stored position, sequence
+//     index, or bound shifts, and no seed window straddles the boundary
+//     (a window containing the sentinel is invalid by construction).
+//   - Sampling is append-stable: SampleStep/SamplePhase select absolute
+//     Data residues, which do not move.
+//   - Dust masking is append-stable: the masker splits runs at invalid
+//     bytes (sentinels included), so prefix mask bits cannot change when
+//     bytes are appended after the final sentinel — the suffix is
+//     masked in isolation and the results agree with a whole-bank pass.
+//
+// The old parts are untrusted (they come from a disk file): they are
+// fully validated against b first, including that every stored position
+// lies below oldDataLen, so a hostile file cannot smuggle suffix
+// occurrences in and have them doubled by the extension scan. The
+// caller (package ixdisk) is responsible for having checked the
+// identity story — that the first k sequences of b really are the bank
+// the parts were built from (per-sequence checksums) and that the
+// options keys match.
+func ExtendFromParts(b *bank.Bank, opts Options, old Parts, oldDataLen int) (*Index, error) {
+	opts = opts.normalized()
+	if opts.W < 1 || opts.W > seed.MaxW {
+		return nil, fmt.Errorf("index: ExtendFromParts: invalid W=%d", opts.W)
+	}
+	data := b.Data
+	if oldDataLen < 1 || oldDataLen > len(data) || data[oldDataLen-1] != bank.Sentinel {
+		return nil, fmt.Errorf("index: ExtendFromParts: prefix boundary %d of %d does not end on a sentinel",
+			oldDataLen, len(data))
+	}
+	if err := checkParts(b, opts, old, int32(oldDataLen)); err != nil {
+		return nil, fmt.Errorf("index: ExtendFromParts: stored prefix parts invalid: %w", err)
+	}
+	n := seed.NumCodes(opts.W)
+
+	// ---- suffix scan: exactly Build's pass 1 over [oldDataLen, end),
+	// serial (the suffix is the small side of the trade). Dust runs over
+	// the suffix slice only — the boundary byte is a sentinel, so the
+	// slice starts on a run boundary and local masking equals the
+	// whole-bank masking of those positions ----
+	w := opts.W
+	w32 := int32(w)
+	step := int32(opts.SampleStep)
+	phase := int32(opts.SamplePhase)
+	base := int32(oldDataLen)
+	var maskPfx []int32 // suffix-local coordinates
+	if opts.Dust != nil {
+		maskPfx = opts.Dust.MaskPrefix(data[oldDataLen:])
+	}
+	hint := (len(data) - oldDataLen + int(step) - 1) / int(step)
+	// One packed code<<32|pos word per accepted suffix window (code ≤ 30
+	// bits, pos 31): sorting these yields exactly the CSR order of the
+	// suffix — code-major, position-minor — with no counting buffers.
+	occBuf := make([]uint64, 0, hint)
+	var masked, sampled int
+	scanRange(data, w, oldDataLen, len(data), func(pos int32, c seed.Code) {
+		if step > 1 && pos%step != phase {
+			sampled++
+			return
+		}
+		if maskPfx != nil && maskPfx[pos-base+w32] != maskPfx[pos-base] {
+			masked++
+			return
+		}
+		occBuf = append(occBuf, uint64(c)<<32|uint64(pos))
+	})
+	slices.Sort(occBuf)
+
+	// ---- merge. The stored arrays are already in CSR order and every
+	// stored occurrence of a code precedes every appended one, so the
+	// merged layout is the stored arrays with the sorted suffix runs
+	// spliced in at their codes' group ends — at most one splice per
+	// distinct suffix code, so the stored arrays move in O(distinct
+	// suffix codes) large copies instead of one copy per occupied code ----
+	total := old.Indexed + len(occBuf)
+	ix := &Index{
+		Bank:       b,
+		W:          w,
+		Starts:     make([]int32, n+1),
+		Pos:        make([]int32, total),
+		OccSeq:     make([]int32, total),
+		OccLo:      make([]int32, total),
+		OccHi:      make([]int32, total),
+		Indexed:    total,
+		MaskedOut:  old.MaskedOut + masked,
+		SampledOut: old.SampledOut + sampled,
+		opts:       opts,
+	}
+	var oldFrom, dst int32
+	splice := func(c int32, run []uint64) {
+		// Copy the stored run up through the end of group c, then append
+		// the suffix occurrences of c with their sidecar entries.
+		end := old.Starts[c+1]
+		copy(ix.Pos[dst:], old.Pos[oldFrom:end])
+		copy(ix.OccSeq[dst:], old.OccSeq[oldFrom:end])
+		copy(ix.OccLo[dst:], old.OccLo[oldFrom:end])
+		copy(ix.OccHi[dst:], old.OccHi[oldFrom:end])
+		dst += end - oldFrom
+		oldFrom = end
+		for _, v := range run {
+			pos := int32(v & (1<<31 - 1))
+			ix.Pos[dst] = pos
+			s := b.SeqAt(pos)
+			ix.OccSeq[dst] = s
+			ix.OccLo[dst], ix.OccHi[dst] = b.SeqBounds(int(s))
+			dst++
+		}
+	}
+	for i := 0; i < len(occBuf); {
+		c := int32(occBuf[i] >> 32)
+		j := i + 1
+		for j < len(occBuf) && int32(occBuf[j]>>32) == c {
+			j++
+		}
+		splice(c, occBuf[i:j])
+		i = j
+	}
+	copy(ix.Pos[dst:], old.Pos[oldFrom:])
+	copy(ix.OccSeq[dst:], old.OccSeq[oldFrom:])
+	copy(ix.OccLo[dst:], old.OccLo[oldFrom:])
+	copy(ix.OccHi[dst:], old.OccHi[oldFrom:])
+	if int(dst)+old.Indexed-int(oldFrom) != total {
+		return nil, fmt.Errorf("index: ExtendFromParts: merged %d occurrences, expected %d",
+			int(dst)+old.Indexed-int(oldFrom), total)
+	}
+
+	// ---- prefix sums: the stored Starts shifted by the running count
+	// of suffix insertions. Between suffix codes the shift is constant,
+	// so the 4^W-entry array fills in plain add-copy spans (and a real
+	// memcpy for the zero-shift span before the first suffix code)
+	// instead of a per-code branch ----
+	var shift int32
+	prev := 0
+	for i := 0; i < len(occBuf); {
+		c := int(occBuf[i] >> 32)
+		if shift == 0 {
+			copy(ix.Starts[prev:c+1], old.Starts[prev:c+1])
+		} else {
+			for x := prev; x <= c; x++ {
+				ix.Starts[x] = old.Starts[x] + shift
+			}
+		}
+		prev = c + 1
+		j := i + 1
+		for j < len(occBuf) && int(occBuf[j]>>32) == c {
+			j++
+		}
+		shift += int32(j - i)
+		i = j
+	}
+	for x := prev; x <= n; x++ {
+		ix.Starts[x] = old.Starts[x] + shift
+	}
+
+	// ---- directory: linear merge of the stored occupied codes with
+	// the distinct suffix codes — O(occupied + suffix), never a scan of
+	// the 4^W code space ----
+	distinct := 0
+	for i := 0; i < len(occBuf); {
+		c := occBuf[i] >> 32
+		for i < len(occBuf) && occBuf[i]>>32 == c {
+			i++
+		}
+		distinct++
+	}
+	ix.Codes = make([]seed.Code, 0, len(old.Codes)+distinct)
+	oi, si := 0, 0
+	for oi < len(old.Codes) || si < len(occBuf) {
+		var sc seed.Code
+		haveS := si < len(occBuf)
+		if haveS {
+			sc = seed.Code(occBuf[si] >> 32)
+		}
+		switch {
+		case !haveS || (oi < len(old.Codes) && old.Codes[oi] < sc):
+			ix.Codes = append(ix.Codes, old.Codes[oi])
+			oi++
+		case oi < len(old.Codes) && old.Codes[oi] == sc:
+			ix.Codes = append(ix.Codes, sc)
+			oi++
+			for si < len(occBuf) && seed.Code(occBuf[si]>>32) == sc {
+				si++
+			}
+		default:
+			ix.Codes = append(ix.Codes, sc)
+			for si < len(occBuf) && seed.Code(occBuf[si]>>32) == sc {
+				si++
+			}
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,186 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/fasta"
+	"repro/internal/seed"
+)
+
+// extendRecs builds deterministic records covering the format's edge
+// content: ambiguous bases, a poly-A dust magnet, an empty record, and
+// a record shorter than any W.
+func extendRecs(n int) []*fasta.Record {
+	const alpha = "ACGT"
+	buf := make([]byte, n)
+	state := uint32(424242)
+	for i := range buf {
+		state = state*1664525 + 1013904223
+		buf[i] = alpha[state>>30]
+	}
+	return []*fasta.Record{
+		{ID: "r0", Seq: buf[:n/3]},
+		{ID: "r1", Seq: append([]byte(strings.Repeat("A", 40)+"NN"), buf[n/3:2*n/3]...)},
+		{ID: "r2", Seq: []byte{}},
+		{ID: "r3", Seq: []byte("ACG")},
+		{ID: "r4", Seq: buf[2*n/3:]},
+	}
+}
+
+func extendVariants() map[string]Options {
+	return map[string]Options{
+		"plain":     {W: 8},
+		"dust":      {W: 8, Dust: dust.New(0, 0)},
+		"halfword":  {W: 7, SampleStep: 2},
+		"phase1":    {W: 7, SampleStep: 2, SamplePhase: 1},
+		"negPhase":  {W: 7, SampleStep: 3, SamplePhase: -1},
+		"dust+half": {W: 8, Dust: dust.New(32, 1.5), SampleStep: 2},
+	}
+}
+
+func samePartsT(t *testing.T, want, got Parts) {
+	t.Helper()
+	if want.Indexed != got.Indexed || want.MaskedOut != got.MaskedOut || want.SampledOut != got.SampledOut {
+		t.Errorf("counters differ: want %d/%d/%d, got %d/%d/%d",
+			want.Indexed, want.MaskedOut, want.SampledOut, got.Indexed, got.MaskedOut, got.SampledOut)
+	}
+	check := func(name string, a, b []int32) {
+		if len(a) != len(b) {
+			t.Errorf("%s length: want %d, got %d", name, len(a), len(b))
+			return
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s differs at %d: want %d, got %d", name, i, a[i], b[i])
+				return
+			}
+		}
+	}
+	check("Starts", want.Starts, got.Starts)
+	check("Pos", want.Pos, got.Pos)
+	check("OccSeq", want.OccSeq, got.OccSeq)
+	check("OccLo", want.OccLo, got.OccLo)
+	check("OccHi", want.OccHi, got.OccHi)
+	if len(want.Codes) != len(got.Codes) {
+		t.Errorf("Codes length: want %d, got %d", len(want.Codes), len(got.Codes))
+	} else {
+		for i := range want.Codes {
+			if want.Codes[i] != got.Codes[i] {
+				t.Errorf("Codes differs at %d", i)
+				break
+			}
+		}
+	}
+}
+
+// TestExtendFromPartsMatchesBuild is the core equivalence property: for
+// every option shape and every split point, extending a prefix build by
+// the appended suffix is indistinguishable from a cold full build.
+func TestExtendFromPartsMatchesBuild(t *testing.T) {
+	recs := extendRecs(3000)
+	for name, opts := range extendVariants() {
+		t.Run(name, func(t *testing.T) {
+			full := bank.New("b", recs)
+			want := Build(full, opts)
+			for k := 1; k < len(recs); k++ {
+				prefix := bank.New("b", recs[:k])
+				boundary := full.PrefixLen(k)
+				if boundary != len(prefix.Data) {
+					t.Fatalf("PrefixLen(%d)=%d, want %d", k, boundary, len(prefix.Data))
+				}
+				got, err := ExtendFromParts(full, opts, Build(prefix, opts).Parts(), boundary)
+				if err != nil {
+					t.Fatalf("split %d: %v", k, err)
+				}
+				samePartsT(t, want.Parts(), got.Parts())
+				if got.Bank != full || got.W != want.W {
+					t.Fatalf("split %d: extended index not bound to the full bank", k)
+				}
+			}
+		})
+	}
+}
+
+// TestExtendFromPartsEmptySuffix: a boundary equal to len(Data) is the
+// degenerate append — the result must still equal the stored index.
+func TestExtendFromPartsEmptySuffix(t *testing.T) {
+	b := bank.New("b", extendRecs(1200))
+	opts := Options{W: 8}
+	built := Build(b, opts)
+	got, err := ExtendFromParts(b, opts, built.Parts(), len(b.Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePartsT(t, built.Parts(), got.Parts())
+}
+
+func TestExtendFromPartsRejects(t *testing.T) {
+	recs := extendRecs(1200)
+	full := bank.New("b", recs)
+	prefix := bank.New("b", recs[:2])
+	opts := Options{W: 8}
+	old := Build(prefix, opts).Parts()
+	boundary := full.PrefixLen(2)
+
+	t.Run("bad-W", func(t *testing.T) {
+		if _, err := ExtendFromParts(full, Options{W: 0}, old, boundary); err == nil {
+			t.Error("invalid W accepted")
+		}
+	})
+	t.Run("boundary-not-sentinel", func(t *testing.T) {
+		for _, bad := range []int{0, boundary - 1, len(full.Data) + 1} {
+			if _, err := ExtendFromParts(full, opts, old, bad); err == nil {
+				t.Errorf("boundary %d accepted", bad)
+			}
+		}
+	})
+	t.Run("positions-beyond-boundary", func(t *testing.T) {
+		// A "prefix" file that actually indexes the whole bank: every
+		// occurrence is structurally valid for the full bank, but some
+		// lie beyond the claimed boundary — accepting it would double
+		// the suffix occurrences.
+		whole := Build(full, opts).Parts()
+		if _, err := ExtendFromParts(full, opts, whole, boundary); err == nil {
+			t.Error("stored occurrences beyond the boundary accepted")
+		}
+	})
+	t.Run("truncated-sidecar", func(t *testing.T) {
+		mangled := old
+		mangled.OccSeq = mangled.OccSeq[:len(mangled.OccSeq)/2]
+		if _, err := ExtendFromParts(full, opts, mangled, boundary); err == nil {
+			t.Error("inconsistent sidecar accepted")
+		}
+	})
+}
+
+// TestExtendPreservesAccessors spot-checks the merged index through the
+// public accessors against the full rebuild.
+func TestExtendPreservesAccessors(t *testing.T) {
+	recs := extendRecs(2000)
+	full := bank.New("b", recs)
+	prefix := bank.New("b", recs[:3])
+	opts := Options{W: 6, Dust: dust.New(0, 0)}
+	want := Build(full, opts)
+	got, err := ExtendFromParts(full, opts, Build(prefix, opts).Parts(), full.PrefixLen(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range want.Parts().Codes {
+		w := want.Occ(seed.Code(c))
+		g := got.Occ(seed.Code(c))
+		if len(w) != len(g) {
+			t.Fatalf("code %d: occ lengths %d vs %d", c, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("code %d: occ[%d] %d vs %d", c, i, w[i], g[i])
+			}
+		}
+		if want.Head(seed.Code(c)) != got.Head(seed.Code(c)) {
+			t.Fatalf("code %d: Head differs", c)
+		}
+	}
+}

@@ -381,59 +381,8 @@ func FromParts(b *bank.Bank, opts Options, p Parts) (*Index, error) {
 	if opts.W < 1 || opts.W > seed.MaxW {
 		return nil, fmt.Errorf("index: FromParts: invalid W=%d", opts.W)
 	}
-	n := seed.NumCodes(opts.W)
-	if len(p.Starts) != n+1 {
-		return nil, fmt.Errorf("index: FromParts: Starts has %d entries, want 4^%d+1=%d",
-			len(p.Starts), opts.W, n+1)
-	}
-	if p.Starts[0] != 0 {
-		return nil, fmt.Errorf("index: FromParts: Starts[0]=%d, want 0", p.Starts[0])
-	}
-	if len(p.Pos) != p.Indexed || int(p.Starts[n]) != p.Indexed {
-		return nil, fmt.Errorf("index: FromParts: Indexed=%d but len(Pos)=%d, Starts[end]=%d",
-			p.Indexed, len(p.Pos), p.Starts[n])
-	}
-	if len(p.OccSeq) != p.Indexed || len(p.OccLo) != p.Indexed || len(p.OccHi) != p.Indexed {
-		return nil, fmt.Errorf("index: FromParts: sidecar lengths %d/%d/%d, want Indexed=%d",
-			len(p.OccSeq), len(p.OccLo), len(p.OccHi), p.Indexed)
-	}
-	occupied := 0
-	for c := 0; c < n; c++ {
-		if p.Starts[c+1] < p.Starts[c] {
-			return nil, fmt.Errorf("index: FromParts: Starts not monotone at code %d", c)
-		}
-		if p.Starts[c+1] > p.Starts[c] {
-			if occupied >= len(p.Codes) || p.Codes[occupied] != seed.Code(c) {
-				return nil, fmt.Errorf("index: FromParts: Codes directory disagrees with Starts at code %d", c)
-			}
-			occupied++
-		}
-	}
-	if occupied != len(p.Codes) {
-		return nil, fmt.Errorf("index: FromParts: Codes has %d entries beyond the %d occupied codes",
-			len(p.Codes), occupied)
-	}
-	// Per-occurrence validation: every position must sit inside the
-	// bounds of the sequence its sidecar entry names, and the sidecar
-	// bounds must be that sequence's real bounds — so a hostile file
-	// can never make the hot extension loops (which trust OccLo/OccHi
-	// as scan limits) read outside the bank.
-	numSeqs := b.NumSeqs()
-	w32 := int32(opts.W)
-	for i, pos := range p.Pos {
-		s := p.OccSeq[i]
-		if s < 0 || int(s) >= numSeqs {
-			return nil, fmt.Errorf("index: FromParts: OccSeq[%d]=%d outside [0,%d)", i, s, numSeqs)
-		}
-		lo, hi := b.SeqBounds(int(s))
-		if p.OccLo[i] != lo || p.OccHi[i] != hi {
-			return nil, fmt.Errorf("index: FromParts: sidecar bounds [%d,%d) for position %d disagree with sequence %d bounds [%d,%d)",
-				p.OccLo[i], p.OccHi[i], pos, s, lo, hi)
-		}
-		if pos < lo || pos+w32 > hi {
-			return nil, fmt.Errorf("index: FromParts: position %d (W=%d) outside its sequence bounds [%d,%d)",
-				pos, opts.W, lo, hi)
-		}
+	if err := checkParts(b, opts, p, int32(len(b.Data))); err != nil {
+		return nil, err
 	}
 	return &Index{
 		Bank: b, W: opts.W,
@@ -442,6 +391,91 @@ func FromParts(b *bank.Bank, opts Options, p Parts) (*Index, error) {
 		Indexed: p.Indexed, MaskedOut: p.MaskedOut, SampledOut: p.SampledOut,
 		opts: opts,
 	}, nil
+}
+
+// checkParts validates the structural invariants of serialized parts
+// against bank b: array lengths consistent with W and Indexed, Starts a
+// monotone prefix sum from 0 to Indexed, Codes exactly the occupied
+// directory, and every occurrence inside the bounds of the sequence its
+// sidecar entry names (with the sidecar bounds being that sequence's
+// real bounds). posLimit is an exclusive upper bound on occurrence
+// start positions: len(Data) for a whole-bank reassembly, the prefix
+// boundary for ExtendFromParts — which is how a hostile "prefix" file
+// claiming occurrences beyond its recorded boundary is rejected instead
+// of being double-inserted by the extension scan.
+func checkParts(b *bank.Bank, opts Options, p Parts, posLimit int32) error {
+	n := seed.NumCodes(opts.W)
+	if len(p.Starts) != n+1 {
+		return fmt.Errorf("index: FromParts: Starts has %d entries, want 4^%d+1=%d",
+			len(p.Starts), opts.W, n+1)
+	}
+	if p.Starts[0] != 0 {
+		return fmt.Errorf("index: FromParts: Starts[0]=%d, want 0", p.Starts[0])
+	}
+	if len(p.Pos) != p.Indexed || int(p.Starts[n]) != p.Indexed {
+		return fmt.Errorf("index: FromParts: Indexed=%d but len(Pos)=%d, Starts[end]=%d",
+			p.Indexed, len(p.Pos), p.Starts[n])
+	}
+	if len(p.OccSeq) != p.Indexed || len(p.OccLo) != p.Indexed || len(p.OccHi) != p.Indexed {
+		return fmt.Errorf("index: FromParts: sidecar lengths %d/%d/%d, want Indexed=%d",
+			len(p.OccSeq), len(p.OccLo), len(p.OccHi), p.Indexed)
+	}
+	occupied := 0
+	for c := 0; c < n; c++ {
+		if p.Starts[c+1] < p.Starts[c] {
+			return fmt.Errorf("index: FromParts: Starts not monotone at code %d", c)
+		}
+		if p.Starts[c+1] > p.Starts[c] {
+			if occupied >= len(p.Codes) || p.Codes[occupied] != seed.Code(c) {
+				return fmt.Errorf("index: FromParts: Codes directory disagrees with Starts at code %d", c)
+			}
+			occupied++
+		}
+	}
+	if occupied != len(p.Codes) {
+		return fmt.Errorf("index: FromParts: Codes has %d entries beyond the %d occupied codes",
+			len(p.Codes), occupied)
+	}
+	// Per-occurrence validation: every position must sit inside the
+	// bounds of the sequence its sidecar entry names, and the sidecar
+	// bounds must be that sequence's real bounds — so a hostile file
+	// can never make the hot extension loops (which trust OccLo/OccHi
+	// as scan limits) read outside the bank. The per-sequence bounds are
+	// gathered up front and the parallel arrays re-sliced to a common
+	// length so the O(Indexed) sweep runs without per-element method
+	// calls or redundant bounds checks (this sweep is the validation
+	// cost of every disk load and every suffix extension).
+	numSeqs := b.NumSeqs()
+	lows := make([]int32, numSeqs)
+	his := make([]int32, numSeqs)
+	for s := 0; s < numSeqs; s++ {
+		lows[s], his[s] = b.SeqBounds(s)
+	}
+	w32 := int32(opts.W)
+	pos := p.Pos
+	occSeq := p.OccSeq[:len(pos)]
+	occLo := p.OccLo[:len(pos)]
+	occHi := p.OccHi[:len(pos)]
+	for i := range pos {
+		s := occSeq[i]
+		if s < 0 || int(s) >= numSeqs {
+			return fmt.Errorf("index: FromParts: OccSeq[%d]=%d outside [0,%d)", i, s, numSeqs)
+		}
+		lo, hi := lows[s], his[s]
+		if occLo[i] != lo || occHi[i] != hi {
+			return fmt.Errorf("index: FromParts: sidecar bounds [%d,%d) for position %d disagree with sequence %d bounds [%d,%d)",
+				occLo[i], occHi[i], pos[i], s, lo, hi)
+		}
+		if pos[i] < lo || pos[i]+w32 > hi {
+			return fmt.Errorf("index: FromParts: position %d (W=%d) outside its sequence bounds [%d,%d)",
+				pos[i], opts.W, lo, hi)
+		}
+		if pos[i] >= posLimit {
+			return fmt.Errorf("index: FromParts: position %d at or beyond the recorded data boundary %d",
+				pos[i], posLimit)
+		}
+	}
+	return nil
 }
 
 // Occ returns the occurrences of code c as a contiguous ascending slice

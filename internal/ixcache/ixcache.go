@@ -39,6 +39,7 @@ package ixcache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -145,13 +146,23 @@ type entry struct {
 	done  atomic.Bool
 }
 
+// ErrSaveDeclined is returned by Store.Save when the store's save
+// policy declines to persist the value (ixdisk.SavePolicy: query banks
+// below a size floor, banks not marked as database banks). A declined
+// save is deliberate housekeeping, not a failure: the cache counts it
+// under SavesDeclined instead of DiskErrors.
+var ErrSaveDeclined = errors.New("ixcache: store save declined by policy")
+
 // Store is an optional persistent second tier below the in-memory LRU:
 // Load returns a previously saved Prepared for exactly (b, opts), or
 // (nil, nil) on a clean miss; Save persists a freshly built one. A
 // non-nil Load error means a file existed but was rejected (corrupt,
 // wrong key) — the cache falls back to a fresh build and writes it
-// back, healing the store. Implementations must be safe for concurrent
-// use; package ixdisk provides the on-disk implementation.
+// back, healing the store. Save may decline by policy with an error
+// wrapping ErrSaveDeclined. Implementations must be safe for concurrent
+// use; package ixdisk provides the on-disk implementation (whose Load
+// also satisfies a miss by suffix-extending a stored prefix index when
+// the bank has only been appended to — transparent to this interface).
 type Store interface {
 	Load(b *bank.Bank, opts index.Options) (*Prepared, error)
 	Save(p *Prepared) error
@@ -166,11 +177,12 @@ type Cache struct {
 	order *list.List // front = most recently used
 	store Store
 
-	builds    atomic.Int64
-	lookups   atomic.Int64
-	evictions atomic.Int64
-	diskHits  atomic.Int64
-	diskErrs  atomic.Int64
+	builds        atomic.Int64
+	lookups       atomic.Int64
+	evictions     atomic.Int64
+	diskHits      atomic.Int64
+	diskErrs      atomic.Int64
+	savesDeclined atomic.Int64
 }
 
 // New returns a cache bounded to maxEntries prepared banks
@@ -241,7 +253,10 @@ func (c *Cache) Get(b *bank.Bank, opts index.Options) *Prepared {
 	// processes are last-wins over identical bytes.
 	if builtHere {
 		if s := c.getStore(); s != nil {
-			if err := s.Save(e.ready); err != nil {
+			switch err := s.Save(e.ready); {
+			case errors.Is(err, ErrSaveDeclined):
+				c.savesDeclined.Add(1)
+			case err != nil:
 				c.diskErrs.Add(1)
 			}
 		}
@@ -310,5 +325,11 @@ func (c *Cache) DiskHits() int64 { return c.diskHits.Load() }
 
 // DiskErrors returns how many Store operations failed (rejected files
 // on Load, write failures on Save). Store errors never fail a Get —
-// the cache builds fresh — so this counter is the only trace.
+// the cache builds fresh — so this counter is the only trace. Saves
+// declined by the store's policy are not errors; see SavesDeclined.
 func (c *Cache) DiskErrors() int64 { return c.diskErrs.Load() }
+
+// SavesDeclined returns how many write-backs the store's save policy
+// declined (ErrSaveDeclined) — the trace that single-use query indexes
+// are being kept out of a policy-bounded store, not silently lost.
+func (c *Cache) SavesDeclined() int64 { return c.savesDeclined.Load() }

@@ -91,8 +91,19 @@ func TestKeyDiscrimination(t *testing.T) {
 	}
 	c.Get(b, index.Options{W: 8, Dust: dust.New(0, 0)})
 	c.Get(b, index.Options{W: 8, SampleStep: 2, SamplePhase: 3})
+	// Negative and out-of-range phases reduce into [0, step): -1 mod 2
+	// is phase 1, -4 mod 3 is phase 2.
+	c.Get(b, index.Options{W: 8, SampleStep: 2, SamplePhase: -1})
 	if got := c.Builds(); got != before {
 		t.Errorf("equivalent options rebuilt: builds went %d -> %d", before, got)
+	}
+	if SameKey(index.Options{W: 8, SampleStep: 2, SamplePhase: -1},
+		index.Options{W: 8, SampleStep: 2, SamplePhase: 1}) == false {
+		t.Error("Phase=-1,Step=2 must alias Phase=1,Step=2")
+	}
+	if SameKey(index.Options{W: 8, SampleStep: 3, SamplePhase: -4},
+		index.Options{W: 8, SampleStep: 3, SamplePhase: 2}) == false {
+		t.Error("Phase=-4,Step=3 must alias Phase=2,Step=3")
 	}
 }
 
@@ -213,11 +224,12 @@ func TestMatchesOptions(t *testing.T) {
 // inject load failures — the disk tier's cache-side contract tested
 // without any file I/O (package ixdisk tests the real files).
 type fakeStore struct {
-	mu      sync.Mutex
-	entries map[Key]*Prepared
-	loads   int
-	saves   int
-	failOne bool // next Load returns an injected error
+	mu         sync.Mutex
+	entries    map[Key]*Prepared
+	loads      int
+	saves      int
+	failOne    bool // next Load returns an injected error
+	declineAll bool // Save declines by policy
 }
 
 func newFakeStore() *fakeStore { return &fakeStore{entries: map[Key]*Prepared{}} }
@@ -236,6 +248,9 @@ func (s *fakeStore) Load(b *bank.Bank, opts index.Options) (*Prepared, error) {
 func (s *fakeStore) Save(p *Prepared) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.declineAll {
+		return fmt.Errorf("policy says no: %w", ErrSaveDeclined)
+	}
 	s.saves++
 	s.entries[KeyFor(p.Bank, p.Ix.Options())] = p
 	return nil
@@ -286,6 +301,24 @@ func TestStoreErrorFallsBackToBuild(t *testing.T) {
 	}
 	if c.Builds() != 1 || c.DiskErrors() != 1 || s.saves != 1 {
 		t.Fatalf("builds=%d diskErrs=%d saves=%d, want 1/1/1", c.Builds(), c.DiskErrors(), s.saves)
+	}
+}
+
+// TestStoreSaveDeclined: a save declined by store policy is counted as
+// housekeeping, not as a store error, and never fails the Get.
+func TestStoreSaveDeclined(t *testing.T) {
+	b := testBank(t, "b", randomishSeq(512))
+	s := newFakeStore()
+	s.declineAll = true
+	c := New(8)
+	c.SetStore(s)
+	p := c.Get(b, index.Options{W: 8})
+	if p == nil || p.Ix == nil {
+		t.Fatal("Get returned no index despite declined save")
+	}
+	if c.Builds() != 1 || c.SavesDeclined() != 1 || c.DiskErrors() != 0 || s.saves != 0 {
+		t.Fatalf("builds=%d declined=%d diskErrs=%d saves=%d, want 1/1/0/0",
+			c.Builds(), c.SavesDeclined(), c.DiskErrors(), s.saves)
 	}
 }
 

@@ -6,7 +6,7 @@
 // index aligners treat their index — a database file built once per
 // bank, not a per-run allocation.
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 // One file holds one (bank, options) build, little-endian throughout
 // (DESIGN.md §7 has the byte-layout diagram):
@@ -15,17 +15,24 @@
 //	identity key: bank content CRC-64 + data length + sequence count,
 //	              W, SampleStep, SamplePhase, dust on/window/threshold
 //	counters: Indexed, MaskedOut, SampledOut
-//	section lengths, then the six CSR sections as flat 4-byte arrays:
-//	  Starts, Pos, Codes, OccSeq, OccLo, OccHi
+//	section lengths, then the seven sections: SeqSums (per-sequence
+//	CRC-64s, 8-byte elements) followed by the six CSR sections as flat
+//	4-byte arrays: Starts, Pos, Codes, OccSeq, OccLo, OccHi
 //	trailing CRC-32C over everything before it
 //
-// The header is 136 bytes and every section element is 4 bytes, so all
-// sections are 4-byte aligned from any page-aligned base — which is
-// what lets LoadMapped alias the mmap'd sections as []int32 with zero
-// copying. Load is the strict portable reader: it validates the same
-// invariants and copies the sections into fresh heap slices.
+// The header is 144 bytes, the SeqSums section is 8-byte elements, and
+// every CSR element is 4 bytes, so all sections are at least 4-byte
+// aligned from any page-aligned base — which is what lets LoadMapped
+// alias the mmap'd CSR sections as []int32 with zero copying. Load is
+// the strict portable reader: it validates the same invariants and
+// copies the sections into fresh heap slices.
 //
-// # Invalidation
+// Version 2 added the SeqSums section (and grew the header by one
+// section length). Version-1 files are rejected with ErrVersion like
+// any other unknown version — the store heals them by rebuild — rather
+// than being read without the per-sequence identity they lack.
+//
+// # Invalidation and append-aware reuse
 //
 // A file is valid only for the exact (bank content, index options) it
 // was saved from. Load and LoadMapped reject, with descriptive errors:
@@ -34,6 +41,15 @@
 // sampling, or dust parameters). Rejection is always safe: the caller
 // (ixcache's disk tier) falls back to a fresh build and overwrites the
 // bad file, healing the store in place.
+//
+// The SeqSums section makes identity finer than all-or-nothing: when
+// DirStore misses exactly, it scans the directory for a file whose
+// recorded bank is a strict prefix of the requesting bank — same
+// options key, fewer sequences, per-sequence checksums matching the
+// request's prefix — and satisfies the miss through
+// index.ExtendFromParts, scanning only the appended suffix. The
+// extended index is saved back under its exact key, so a grown bank
+// pays the suffix once and exact-hits ever after.
 package ixdisk
 
 import (
@@ -50,6 +66,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bank"
 	"repro/internal/dust"
@@ -62,10 +80,14 @@ import (
 // reject anything they were not compiled for rather than guess.
 const (
 	magic      = "ORISIXDB"
-	version    = 1
-	headerSize = 136
+	version    = 2
+	headerSize = 144
 	// FileExt is the extension DirStore gives its index files.
 	FileExt = ".orix"
+	// tmpPattern is the os.CreateTemp pattern for Save's staging files;
+	// the GC sweep recognizes litter from killed writers by its prefix.
+	tmpPattern = ".orix-tmp-*"
+	tmpPrefix  = ".orix-tmp-"
 )
 
 // Sentinel errors; returned wrapped with file-specific detail, so test
@@ -108,7 +130,9 @@ type header struct {
 	secLen      [numSections]uint64 // element counts, not bytes
 }
 
-const numSections = 6 // Starts, Pos, Codes, OccSeq, OccLo, OccHi
+// Section order: SeqSums (8-byte elements), then the six 4-byte CSR
+// sections Starts, Pos, Codes, OccSeq, OccLo, OccHi.
+const numSections = 7
 
 // keySize is the identity region of the header: bankCRC through
 // dustThresh. Hashed for DirStore filenames, so the filename and the
@@ -149,7 +173,7 @@ func (h *header) indexOptions() index.Options {
 	return o
 }
 
-// Save writes p's index to path in format version 1, atomically: the
+// Save writes p's index to path in the current format version, atomically: the
 // bytes go to a temp file in the same directory which is renamed over
 // path only after a complete write, so a concurrent reader (or a
 // crashed writer) can never observe a half-written file under the
@@ -161,6 +185,7 @@ func Save(path string, p *ixcache.Prepared) error {
 	}
 	ix := p.Ix
 	parts := ix.Parts()
+	seqSums := p.Bank.SeqChecksums()
 
 	hdr := make([]byte, headerSize)
 	copy(hdr[0:8], magic)
@@ -172,6 +197,7 @@ func Save(path string, p *ixcache.Prepared) error {
 	binary.LittleEndian.PutUint64(hdr[72:], uint64(parts.MaskedOut))
 	binary.LittleEndian.PutUint64(hdr[80:], uint64(parts.SampledOut))
 	for i, n := range []int{
+		len(seqSums),
 		len(parts.Starts), len(parts.Pos), len(parts.Codes),
 		len(parts.OccSeq), len(parts.OccLo), len(parts.OccHi),
 	} {
@@ -179,7 +205,7 @@ func Save(path string, p *ixcache.Prepared) error {
 	}
 
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".orix-tmp-*")
+	tmp, err := os.CreateTemp(dir, tmpPattern)
 	if err != nil {
 		return fmt.Errorf("ixdisk: Save: %w", err)
 	}
@@ -195,6 +221,9 @@ func Save(path string, p *ixcache.Prepared) error {
 	sum := crc32.New(crc32Table)
 	w := io.MultiWriter(bw, sum)
 	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := writeWords64(w, seqSums); err != nil {
 		return fmt.Errorf("ixdisk: Save: %w", err)
 	}
 	if err := writeWords(w, parts.Starts); err != nil {
@@ -270,31 +299,51 @@ func decodeWords[T word](sec []byte) []T {
 	return out
 }
 
-// sections holds the validated raw byte views of the six CSR arrays,
-// aliasing the parsed buffer.
-type sections struct {
-	starts, pos, codes, occSeq, occLo, occHi []byte
+// writeWords64 streams the per-sequence checksum section as
+// little-endian 8-byte elements.
+func writeWords64(w io.Writer, vals []uint64) error {
+	const chunk = 4096
+	var buf [8 * chunk]byte
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], vals[i])
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
 }
 
-// parseAndValidate checks everything short of CSR structure: framing
-// (magic, version, sizes), the whole-file checksum, and the identity
-// key against the requesting (bank, options). It returns byte views
-// into buf; converting them to typed slices is the caller's choice of
-// copy (Load) or alias (LoadMapped).
-func parseAndValidate(buf []byte, b *bank.Bank, opts index.Options) (*header, *sections, error) {
-	if len(buf) < headerSize+4 {
-		return nil, nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte minimum",
-			ErrTruncated, len(buf), headerSize+4)
+// sections holds the validated raw byte views of the seven sections,
+// aliasing the parsed buffer.
+type sections struct {
+	seqSums                                  []byte // 8-byte elements
+	starts, pos, codes, occSeq, occLo, occHi []byte // 4-byte elements
+}
+
+// decodeHeader parses and checks the fixed-size header alone — magic,
+// version, declared sizes — without touching (or requiring) the rest
+// of the file. Shared by parseFrame and the cheap prefix probe.
+func decodeHeader(buf []byte) (*header, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte header",
+			ErrTruncated, len(buf), headerSize)
 	}
 	if string(buf[0:8]) != magic {
-		return nil, nil, fmt.Errorf("ixdisk: %w: got %q", ErrBadMagic, buf[0:8])
+		return nil, fmt.Errorf("ixdisk: %w: got %q", ErrBadMagic, buf[0:8])
 	}
 	if v := binary.LittleEndian.Uint32(buf[8:]); v != version {
-		return nil, nil, fmt.Errorf("ixdisk: %w: file is version %d, reader supports %d",
+		return nil, fmt.Errorf("ixdisk: %w: file is version %d, reader supports %d",
 			ErrVersion, v, version)
 	}
 	if hs := binary.LittleEndian.Uint32(buf[12:]); hs != headerSize {
-		return nil, nil, fmt.Errorf("ixdisk: %w: header size %d, want %d",
+		return nil, fmt.Errorf("ixdisk: %w: header size %d, want %d",
 			ErrVersion, hs, headerSize)
 	}
 
@@ -311,14 +360,36 @@ func parseAndValidate(buf []byte, b *bank.Bank, opts index.Options) (*header, *s
 	h.indexed = binary.LittleEndian.Uint64(buf[64:])
 	h.maskedOut = binary.LittleEndian.Uint64(buf[72:])
 	h.sampledOut = binary.LittleEndian.Uint64(buf[80:])
-	total := uint64(headerSize)
 	for i := range h.secLen {
 		h.secLen[i] = binary.LittleEndian.Uint64(buf[88+8*i:])
 		if h.secLen[i] > math.MaxInt32 {
-			return nil, nil, fmt.Errorf("ixdisk: %w: section %d claims %d elements",
+			return nil, fmt.Errorf("ixdisk: %w: section %d claims %d elements",
 				ErrTruncated, i, h.secLen[i])
 		}
-		total += 4 * h.secLen[i]
+	}
+	if h.secLen[0] != uint64(h.numSeqs) {
+		return nil, fmt.Errorf("ixdisk: %w: %d per-sequence checksums for %d sequences",
+			ErrTruncated, h.secLen[0], h.numSeqs)
+	}
+	return &h, nil
+}
+
+// parseFrame checks everything below identity: framing (magic, version,
+// sizes), and the whole-file checksum. It returns byte views into buf;
+// converting them to typed slices is the caller's choice of copy (Load)
+// or alias (LoadMapped).
+func parseFrame(buf []byte) (*header, *sections, error) {
+	if len(buf) < headerSize+4 {
+		return nil, nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte minimum",
+			ErrTruncated, len(buf), headerSize+4)
+	}
+	h, err := decodeHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := uint64(headerSize)
+	for i := range h.secLen {
+		total += sectionElemSize(i) * h.secLen[i]
 	}
 	total += 4 // trailing checksum
 	if uint64(len(buf)) != total {
@@ -332,31 +403,98 @@ func parseAndValidate(buf []byte, b *bank.Bank, opts index.Options) (*header, *s
 			ErrChecksum, got, want)
 	}
 
-	// Identity: bank content first, then the option key through the
-	// same projection the in-memory cache uses.
-	if h.dataLen != uint64(len(b.Data)) || h.numSeqs != uint32(b.NumSeqs()) ||
-		h.bankCRC != BankChecksum(b) {
-		return nil, nil, fmt.Errorf("ixdisk: %w: file indexes a different bank "+
-			"(crc %016x/%d bytes/%d seqs, requested bank %q is %016x/%d/%d)",
-			ErrKeyMismatch, h.bankCRC, h.dataLen, h.numSeqs,
-			b.Name, BankChecksum(b), len(b.Data), b.NumSeqs())
+	var s sections
+	off := uint64(headerSize)
+	for i, dst := range []*[]byte{&s.seqSums, &s.starts, &s.pos, &s.codes, &s.occSeq, &s.occLo, &s.occHi} {
+		n := sectionElemSize(i) * h.secLen[i]
+		*dst = buf[off : off+n]
+		off += n
 	}
+	return h, &s, nil
+}
+
+// sectionElemSize returns the byte width of section i's elements.
+func sectionElemSize(i int) uint64 {
+	if i == 0 {
+		return 8 // SeqSums
+	}
+	return 4
+}
+
+// checkOptionsKey verifies the recorded options against the requesting
+// ones through the same projection the in-memory cache uses.
+func (h *header) checkOptionsKey(opts index.Options) error {
 	if !ixcache.SameKey(h.indexOptions(), opts) {
 		o := opts.Normalized()
-		return nil, nil, fmt.Errorf("ixdisk: %w: file built with W=%d step=%d/%d dust=%v, "+
+		return fmt.Errorf("ixdisk: %w: file built with W=%d step=%d/%d dust=%v, "+
 			"requested W=%d step=%d/%d dust=%v",
 			ErrKeyMismatch, h.w, h.sampleStep, h.samplePhase, h.dustOn != 0,
 			o.W, o.SampleStep, o.SamplePhase, o.Dust != nil)
 	}
+	return nil
+}
 
-	var s sections
-	off := uint64(headerSize)
-	for i, dst := range []*[]byte{&s.starts, &s.pos, &s.codes, &s.occSeq, &s.occLo, &s.occHi} {
-		n := 4 * h.secLen[i]
-		*dst = buf[off : off+n]
-		off += n
+// checkExactBank verifies the recorded bank identity is exactly the
+// requesting bank: whole-content CRC, length, sequence count, and the
+// per-sequence checksum vector.
+func (h *header) checkExactBank(s *sections, b *bank.Bank) error {
+	if h.dataLen != uint64(len(b.Data)) || h.numSeqs != uint32(b.NumSeqs()) ||
+		h.bankCRC != BankChecksum(b) {
+		return fmt.Errorf("ixdisk: %w: file indexes a different bank "+
+			"(crc %016x/%d bytes/%d seqs, requested bank %q is %016x/%d/%d)",
+			ErrKeyMismatch, h.bankCRC, h.dataLen, h.numSeqs,
+			b.Name, BankChecksum(b), len(b.Data), b.NumSeqs())
 	}
-	return &h, &s, nil
+	sums := b.SeqChecksums()
+	for i := range sums {
+		if binary.LittleEndian.Uint64(s.seqSums[8*i:]) != sums[i] {
+			return fmt.Errorf("ixdisk: %w: per-sequence checksum %d disagrees with requested bank %q",
+				ErrKeyMismatch, i, b.Name)
+		}
+	}
+	return nil
+}
+
+// checkPrefixBank verifies the recorded bank is a strict prefix of the
+// requesting bank: fewer sequences, recorded data length exactly the
+// prefix boundary, and every recorded per-sequence checksum matching
+// the request's prefix. On success it returns the recorded sequence
+// count k; the prefix boundary is then b.PrefixLen(k) == h.dataLen.
+func (h *header) checkPrefixBank(s *sections, b *bank.Bank) (int, error) {
+	k := int(h.numSeqs)
+	if k < 1 || k >= b.NumSeqs() {
+		return 0, fmt.Errorf("ixdisk: %w: file records %d sequences, requested bank %q has %d",
+			ErrKeyMismatch, k, b.Name, b.NumSeqs())
+	}
+	if h.dataLen != uint64(b.PrefixLen(k)) {
+		return 0, fmt.Errorf("ixdisk: %w: file records %d data bytes, the first %d sequences of %q span %d",
+			ErrKeyMismatch, h.dataLen, k, b.Name, b.PrefixLen(k))
+	}
+	sums := b.SeqChecksums()
+	for i := 0; i < k; i++ {
+		if binary.LittleEndian.Uint64(s.seqSums[8*i:]) != sums[i] {
+			return 0, fmt.Errorf("ixdisk: %w: per-sequence checksum %d disagrees with the prefix of bank %q",
+				ErrKeyMismatch, i, b.Name)
+		}
+	}
+	return k, nil
+}
+
+// parseAndValidate is the exact-identity validation pass shared by Load
+// and LoadMapped: framing, checksum, then the identity key against the
+// requesting (bank, options).
+func parseAndValidate(buf []byte, b *bank.Bank, opts index.Options) (*header, *sections, error) {
+	h, s, err := parseFrame(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := h.checkExactBank(s, b); err != nil {
+		return nil, nil, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, nil, err
+	}
+	return h, s, nil
 }
 
 // prepared assembles the final value from validated sections already
@@ -509,15 +647,38 @@ func sanitizeName(name string) string {
 // mapped store stay alive until Close — closing invalidates every
 // index the store has loaded, so long-lived callers (CLI sessions,
 // the experiment harness) simply let process exit reclaim them.
+//
+// Beyond exact lookups the store is lifecycle-aware (DESIGN.md §7):
+// an exact miss falls back to suffix-extending a stored prefix of the
+// requesting bank (Extends counts these), SetSavePolicy bounds what is
+// persisted, and SetGC + GC keep the directory itself bounded.
 type DirStore struct {
 	dir    string
 	mapped bool
 
 	mu       sync.Mutex
+	policy   SavePolicy
+	gcCfg    GCConfig
+	dbBanks  map[*bank.Bank]bool
+	dbOrder  []*bank.Bank
 	bankCRCs map[*bank.Bank]uint64
+	crcOrder []*bank.Bank
 	loaded   map[string]*loadedEntry
+	ldOrder  []string
 	maps     []*Mapping
+
+	extends       atomic.Int64
+	savesDeclined atomic.Int64
+	writeBackErrs atomic.Int64
 }
+
+// memoBound caps the per-bank and per-path memo maps. A long-lived
+// process churning through query banks would otherwise grow them
+// without bound (every retired *bank.Bank pointer pinned forever); the
+// bound makes the memos caches, evicted FIFO, at a worst cost of one
+// re-checksum or re-validate per evicted key. 64 comfortably covers
+// the harness's ~30-key working set.
+const memoBound = 64
 
 // loadedEntry memoizes one successful load per path, so LRU
 // evict-and-reload cycles in a bounded cache above the store return
@@ -533,17 +694,22 @@ type loadedEntry struct {
 }
 
 // NewDirStore creates the directory if needed and returns a store
-// rooted there, memory-mapped where supported.
+// rooted there, memory-mapped where supported. Opening a store sweeps
+// temp-file litter left by writers killed mid-Save (older than
+// DefaultTmpGrace, so live concurrent writers are never raced).
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ixdisk: %w", err)
 	}
-	return &DirStore{
+	s := &DirStore{
 		dir:      dir,
 		mapped:   mmapSupported && nativeLittleEndian,
+		dbBanks:  map[*bank.Bank]bool{},
 		bankCRCs: map[*bank.Bank]uint64{},
 		loaded:   map[string]*loadedEntry{},
-	}, nil
+	}
+	s.sweepTmp(DefaultTmpGrace, time.Now())
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -559,13 +725,26 @@ func (s *DirStore) SetMapped(on bool) {
 
 // bankChecksum caches the O(N) content checksum per bank value, so a
 // store consulted for many (bank, options) keys pays it once per bank.
+// The memo is bounded (memoBound, FIFO): under query-bank churn in a
+// long-lived process it behaves as a cache, not a leak.
 func (s *DirStore) bankChecksum(b *bank.Bank) uint64 {
 	s.mu.Lock()
+	if crc, ok := s.bankCRCs[b]; ok {
+		s.mu.Unlock()
+		return crc
+	}
+	s.mu.Unlock()
+	// Compute outside the lock: the checksum is O(bank) and pure.
+	crc := BankChecksum(b)
+	s.mu.Lock()
 	defer s.mu.Unlock()
-	crc, ok := s.bankCRCs[b]
-	if !ok {
-		crc = BankChecksum(b)
+	if _, ok := s.bankCRCs[b]; !ok {
 		s.bankCRCs[b] = crc
+		s.crcOrder = append(s.crcOrder, b)
+		for len(s.crcOrder) > memoBound {
+			delete(s.bankCRCs, s.crcOrder[0])
+			s.crcOrder = s.crcOrder[1:]
+		}
 	}
 	return crc
 }
@@ -581,14 +760,20 @@ func (s *DirStore) Path(b *bank.Bank, opts index.Options) string {
 }
 
 // Load implements ixcache.Store: (nil, nil) when no file exists for the
-// key, the validated Prepared on success, and a descriptive error when
-// a file exists but is rejected (the cache then rebuilds and Save
-// overwrites it).
+// key (and no stored prefix of the bank can be extended — see
+// loadViaPrefix), the validated Prepared on success, and a descriptive
+// error when a file exists but is rejected (the cache then rebuilds
+// and Save overwrites it).
 func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
 	path := s.Path(b, opts)
 	s.mu.Lock()
 	if e, ok := s.loaded[path]; ok && e.bank == b && e.prep.MatchesOptions(opts) {
 		s.mu.Unlock()
+		// Memo hits are still uses: refresh mtime so the GC's
+		// oldest-first eviction never collects a file whose index this
+		// process is actively serving from memory.
+		now := time.Now()
+		_ = os.Chtimes(path, now, now)
 		return e.prep, nil
 	}
 	mapped := s.mapped
@@ -603,12 +788,34 @@ func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, er
 		p, err = Load(path, b, opts)
 	}
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+		return s.loadViaPrefix(b, opts, path)
 	}
 	if err != nil {
 		return nil, err
 	}
+	// Touch the file so the GC's size-cap eviction (oldest mtime first)
+	// approximates LRU over actual use, not save order. Best-effort.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	s.memoize(path, b, p, m)
+	return p, nil
+}
+
+// memoize records a successful load (or extension) for its path so LRU
+// evict-and-reload cycles above the store return the validated index
+// instead of re-reading the file. Bounded (memoBound, FIFO) — see
+// bankChecksum — with the caveat that an evicted entry's Mapping stays
+// held until Close, since the Prepared it backs may still be in use.
+func (s *DirStore) memoize(path string, b *bank.Bank, p *ixcache.Prepared, m *Mapping) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.loaded[path]; !ok {
+		s.ldOrder = append(s.ldOrder, path)
+		for len(s.ldOrder) > memoBound {
+			delete(s.loaded, s.ldOrder[0])
+			s.ldOrder = s.ldOrder[1:]
+		}
+	}
 	s.loaded[path] = &loadedEntry{bank: b, prep: p}
 	if m != nil {
 		// A superseded entry's mapping (same path, different bank
@@ -616,17 +823,35 @@ func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, er
 		// so it is only released at Close.
 		s.maps = append(s.maps, m)
 	}
-	s.mu.Unlock()
-	return p, nil
 }
 
 // Save implements ixcache.Store: persist a freshly built index under
-// its key's path.
+// its key's path, unless the store's SavePolicy declines it (the
+// ixcache.ErrSaveDeclined contract). When GC caps are configured, a
+// successful save triggers a best-effort collection so the store
+// converges toward its bounds under sustained traffic without anyone
+// calling GC explicitly.
 func (s *DirStore) Save(p *ixcache.Prepared) error {
 	if p == nil || p.Bank == nil || p.Ix == nil {
 		return errors.New("ixdisk: DirStore.Save: nil prepared value")
 	}
-	return Save(s.Path(p.Bank, p.Ix.Options()), p)
+	s.mu.Lock()
+	pol := s.policy
+	isDB := s.dbBanks[p.Bank]
+	gcCfg := s.gcCfg
+	s.mu.Unlock()
+	if !pol.allows(p.Bank, isDB) {
+		s.savesDeclined.Add(1)
+		return fmt.Errorf("ixdisk: DirStore.Save: bank %q (%d bases): %w",
+			p.Bank.Name, p.Bank.TotalBases(), ixcache.ErrSaveDeclined)
+	}
+	if err := Save(s.Path(p.Bank, p.Ix.Options()), p); err != nil {
+		return err
+	}
+	if gcCfg.MaxBytes > 0 || gcCfg.MaxAge > 0 {
+		_, _ = s.GC()
+	}
+	return nil
 }
 
 // Close releases every mapping the store opened. Every mmap-backed

@@ -1,0 +1,189 @@
+package ixdisk
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bank"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+	"repro/internal/seed"
+)
+
+// Append-aware reuse: satisfying an exact miss from a stored prefix.
+//
+// Whole-bank identity makes a growing bank pathological: append one EST
+// run and every cached index of the bank is garbage. The per-sequence
+// checksum vector (format v2) fixes the granularity — a stored file
+// whose recorded sequences are exactly the first k of the requesting
+// bank indexes a byte-identical Data prefix, and bank coordinates are
+// append-stable, so the stored CSR arrays feed index.ExtendFromParts
+// and only the appended suffix is scanned.
+//
+// The flow on an exact miss: scan the directory, cheaply probe each
+// .orix header (144 bytes + the checksum vector — no full read, no
+// whole-file CRC), collect prefix-compatible candidates, and try them
+// longest-prefix-first with full validation. The first success is
+// counted under Extends, memoized under the exact key's path, and
+// written back under the exact key (policy permitting) so the next
+// process exact-hits instead of re-extending. Every failure — corrupt
+// candidate, checksum mismatch, hostile content — just drops to the
+// next candidate and ultimately to a clean miss: the build fallback is
+// always sound, so this whole path is opportunistic.
+
+// probeResult is one prefix-compatible candidate file.
+type probeResult struct {
+	path string
+	k    int // stored sequence count (strictly < the requesting bank's)
+}
+
+// probePrefix cheaply decides whether path could extend to (b, opts):
+// it reads only the header and the per-sequence checksum section and
+// checks the prefix identity. No whole-file checksum — the full load
+// re-validates everything before any byte is trusted.
+func probePrefix(path string, b *bank.Bank, opts index.Options) (int, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, false
+	}
+	h, err := decodeHeader(hdr)
+	if err != nil {
+		return 0, false
+	}
+	if h.checkOptionsKey(opts) != nil {
+		return 0, false
+	}
+	if k := int(h.numSeqs); k < 1 || k >= b.NumSeqs() {
+		return 0, false
+	}
+	sums := make([]byte, 8*h.secLen[0])
+	if _, err := io.ReadFull(f, sums); err != nil {
+		return 0, false
+	}
+	k, err := h.checkPrefixBank(&sections{seqSums: sums}, b)
+	if err != nil {
+		return 0, false
+	}
+	return k, true
+}
+
+// prefixCandidates scans the store directory for files that could
+// extend to (b, opts), longest stored prefix first. Files are
+// pre-filtered by the sanitized bank-name prefix DirStore.Path gives
+// every save, so an exact miss probes only the requesting bank's own
+// lineage — O(files of this bank), not O(store) opens — at the cost
+// that a bank re-loaded under a different display name rebuilds
+// instead of extending (sound: extension is opportunistic).
+func (s *DirStore) prefixCandidates(b *bank.Bank, opts index.Options, exactPath string) []probeResult {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	namePrefix := sanitizeName(b.Name) + "-"
+	var out []probeResult
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, FileExt) || !strings.HasPrefix(name, namePrefix) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		if path == exactPath {
+			continue
+		}
+		if k, ok := probePrefix(path, b, opts); ok {
+			out = append(out, probeResult{path: path, k: k})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k > out[j].k })
+	return out
+}
+
+// loadPrefixExtend fully validates a candidate file as a prefix of b
+// and extends it into the complete index for (b, opts). The file's
+// frame (checksum included) and its prefix identity are re-checked
+// from scratch — the probe's cheap pass authorizes nothing — and
+// index.ExtendFromParts re-validates the decoded CSR structure before
+// the merge, so a hostile candidate fails closed. The copying reader
+// is used unconditionally: the merged index owns fresh arrays anyway,
+// so an mmap would only be a detour.
+func loadPrefixExtend(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h, s, err := parseFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, err
+	}
+	k, err := h.checkPrefixBank(s, b)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.ExtendFromParts(b, opts, index.Parts{
+		Starts:     decodeWords[int32](s.starts),
+		Pos:        decodeWords[int32](s.pos),
+		Codes:      decodeWords[seed.Code](s.codes),
+		OccSeq:     decodeWords[int32](s.occSeq),
+		OccLo:      decodeWords[int32](s.occLo),
+		OccHi:      decodeWords[int32](s.occHi),
+		Indexed:    int(h.indexed),
+		MaskedOut:  int(h.maskedOut),
+		SampledOut: int(h.sampledOut),
+	}, b.PrefixLen(k))
+	if err != nil {
+		return nil, err
+	}
+	return &ixcache.Prepared{Bank: b, Ix: ix}, nil
+}
+
+// loadViaPrefix is the exact-miss fallback of DirStore.Load: find the
+// longest stored prefix of (b, opts), extend it, memoize and write the
+// result back under the exact key. A clean (nil, nil) miss when no
+// candidate survives — never an error, extension is best-effort.
+func (s *DirStore) loadViaPrefix(b *bank.Bank, opts index.Options, exactPath string) (*ixcache.Prepared, error) {
+	for _, cand := range s.prefixCandidates(b, opts, exactPath) {
+		p, err := loadPrefixExtend(cand.path, b, opts)
+		if err != nil {
+			continue
+		}
+		s.extends.Add(1)
+		s.memoize(exactPath, b, p, nil)
+		// Write back under the exact key so later processes exact-hit
+		// (and the stale prefix file ages out via GC). Failure never
+		// fails the load — the next cold process just extends again —
+		// but a genuine I/O failure is counted (WriteBackErrors) so a
+		// store that can no longer be written doesn't read as healthy;
+		// a policy decline is already counted by Save itself.
+		if err := s.Save(p); err != nil && !errors.Is(err, ixcache.ErrSaveDeclined) {
+			s.writeBackErrs.Add(1)
+		}
+		return p, nil
+	}
+	return nil, nil
+}
+
+// Extends returns how many exact misses this store satisfied by
+// suffix-extending a stored prefix index — the append-aware reuse
+// counter the CLIs surface next to builds and disk hits.
+func (s *DirStore) Extends() int64 { return s.extends.Load() }
+
+// SavesDeclined returns how many saves the store's SavePolicy refused.
+func (s *DirStore) SavesDeclined() int64 { return s.savesDeclined.Load() }
+
+// WriteBackErrors returns how many extension write-backs failed with a
+// genuine I/O error (policy declines excluded). These never pass
+// through the cache's save path, so they are invisible to
+// ixcache.Cache.DiskErrors; the CLIs add the two counters together.
+func (s *DirStore) WriteBackErrors() int64 { return s.writeBackErrs.Load() }

@@ -135,9 +135,30 @@ type IndexStore = ixcache.Store
 
 // DirIndexStore is the on-disk IndexStore implementation: one
 // versioned, checksummed file per (bank content, index options) key,
-// memory-mapped on load where the platform supports it. See
-// DESIGN.md §7 for the format and invalidation rules.
+// memory-mapped on load where the platform supports it. Identity is
+// per-sequence, so a bank that has only been appended to reuses its
+// stored index through an O(suffix) extension instead of a rebuild.
+// See DESIGN.md §7 for the format, invalidation, and lifecycle rules.
+//
+// The store is operable under sustained traffic: SetSavePolicy bounds
+// what is persisted (IndexSavePolicy), SetGC + GC bound the directory
+// itself (IndexGCConfig), and MarkDB hints the long-lived database
+// side of a workload.
 type DirIndexStore = ixdisk.DirStore
+
+// IndexSavePolicy bounds what a DirIndexStore persists: only marked
+// database banks (DBOnly), or only banks of at least MinBases bases —
+// so single-use query indexes never hit disk. The zero value persists
+// everything.
+type IndexSavePolicy = ixdisk.SavePolicy
+
+// IndexGCConfig bounds a DirIndexStore directory by total size and/or
+// file age; stale temp files from killed writers are always swept. See
+// DirIndexStore.SetGC and GC.
+type IndexGCConfig = ixdisk.GCConfig
+
+// IndexGCStats reports one store collection.
+type IndexGCStats = ixdisk.GCStats
 
 // NewDirIndexStore returns an on-disk index store rooted at dir
 // (created if absent). Attach it with IndexCache.SetStore; repeated
