@@ -2,11 +2,16 @@ package scoris
 
 import (
 	"bytes"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/tabular"
 )
@@ -24,6 +29,25 @@ func runTool(t *testing.T, args ...string) (string, string) {
 		t.Fatalf("go run %v: %v\nstderr:\n%s", args, err, stderr.String())
 	}
 	return stdout.String(), stderr.String()
+}
+
+// runToolExpectError is runTool's failure twin: the command must exit
+// non-zero, and its stderr is returned for message assertions.
+func runToolExpectError(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go run %v: expected a non-zero exit, got success\nstderr:\n%s", args, stderr.String())
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("go run %v: did not run: %v", args, err)
+	}
+	return stderr.String()
 }
 
 func TestCLIPipelineEndToEnd(t *testing.T) {
@@ -239,6 +263,71 @@ func TestCLIGoblastnIndexDirWarns(t *testing.T) {
 	}
 }
 
+// TestCLIOutputWriteFailureExitsNonZero is the -o truncation
+// regression: a failing output sink (/dev/full returns ENOSPC on
+// flush) must exit non-zero with a write error on stderr — never exit
+// 0 over a silently truncated m8 file. Covers both CLIs.
+func TestCLIOutputWriteFailureExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available on this platform")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+
+	// Sanity: the pair produces output, so the sink really gets bytes.
+	out, _ := runTool(t, "./cmd/scoris", "-d", est1, "-i", est2)
+	if len(out) == 0 {
+		t.Fatal("degenerate test: scoris produced no output")
+	}
+
+	stderr := runToolExpectError(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", "/dev/full")
+	if !strings.Contains(stderr, "/dev/full") {
+		t.Errorf("scoris write-failure stderr does not name the output file:\n%s", stderr)
+	}
+	stderr = runToolExpectError(t, "./cmd/goblastn", "-d", est1, "-i", est2, "-o", "/dev/full")
+	if !strings.Contains(stderr, "/dev/full") {
+		t.Errorf("goblastn write-failure stderr does not name the output file:\n%s", stderr)
+	}
+}
+
+// TestCLISelfWithQueriesIsUsageError: -self silently ignored -i banks
+// before; now the contradiction is refused up front so a typo'd -self
+// cannot masquerade as the intended query run.
+func TestCLISelfWithQueriesIsUsageError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+
+	stderr := runToolExpectError(t, "./cmd/scoris", "-d", est1, "-i", est2, "-self")
+	if !strings.Contains(stderr, "-self") || !strings.Contains(stderr, "-i") {
+		t.Errorf("usage error does not explain the -self/-i conflict:\n%s", stderr)
+	}
+
+	// Each mode alone still works and produces output. The self leg
+	// needs a larger bank: at -scale 256 EST1's self-comparison is
+	// legitimately empty, so it would assert nothing.
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "64", "-q", "-bank", "EST1")
+	out, _ := runTool(t, "./cmd/scoris", "-d", est1, "-self")
+	if len(out) == 0 {
+		t.Error("-self alone broken: no output")
+	}
+	out2, _ := runTool(t, "./cmd/scoris", "-d", est1, "-i", est2)
+	if len(out2) == 0 {
+		t.Error("plain query run broken")
+	}
+}
+
 func TestCLIPairwiseOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration test skipped in -short mode")
@@ -252,6 +341,113 @@ func TestCLIPairwiseOutput(t *testing.T) {
 		"-m", "0")
 	if !strings.Contains(out, "Query=") || !strings.Contains(out, "Sbjct") {
 		t.Errorf("-m 0 did not produce pairwise blocks:\n%.400s", out)
+	}
+}
+
+// TestCLIScorisdServe drives the real scorisd binary end to end: start
+// it on fixture banks, register a query bank over HTTP, compare, check
+// the streamed m8 is byte-identical to the scoris CLI's, read /stats,
+// then SIGTERM it and require a clean drained exit.
+func TestCLIScorisdServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256", "-q",
+		"-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+
+	// Build the daemon (signals must reach the server binary itself,
+	// which `go run`'s wrapper does not guarantee).
+	bin := filepath.Join(dir, "scorisd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/scorisd").CombinedOutput(); err != nil {
+		t.Fatalf("building scorisd: %v\n%s", err, out)
+	}
+
+	// A port of our own choosing that was just free.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var stderr strings.Builder
+	daemon := exec.Command(bin, "-addr", addr, "-bank", est1)
+	daemon.Stderr = &stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	base := "http://" + addr
+
+	// Wait for the listener.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scorisd never came up: %v\nstderr:\n%s", err, stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Register the query bank, then compare.
+	resp, err := http.Post(base+"/banks", "application/json",
+		strings.NewReader(`{"name":"est2","path":"`+est2+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bank registration: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/compare", "application/json",
+		strings.NewReader(`{"db":"EST1.fasta","query":"est2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare: status %d, %v", resp.StatusCode, err)
+	}
+
+	// Byte-identical to the CLI for the same pair.
+	cliOut := filepath.Join(dir, "cli.m8")
+	runTool(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", cliOut)
+	cliBytes, err := os.ReadFile(cliOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) == 0 || !bytes.Equal(served, cliBytes) {
+		t.Errorf("served m8 differs from CLI output (%d vs %d bytes)", len(served), len(cliBytes))
+	}
+
+	// /stats reflects the two builds (db + query index).
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stats), `"builds":2`) {
+		t.Errorf("stats does not report 2 builds:\n%s", stats)
+	}
+
+	// Graceful shutdown: SIGTERM → drained, exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("scorisd did not exit cleanly on SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("no drain confirmation on stderr:\n%s", stderr.String())
 	}
 }
 

@@ -76,13 +76,11 @@ func main() {
 	session, err := scoris.NewBlastnSession(db, opt)
 	fatal(err)
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		fatal(err)
-		defer f.Close()
-		out = f
-	}
+	// Buffered, checked output (see cliflag.Output): the flush and
+	// close are verified before the zero exit, so a failed write can
+	// never leave a silently truncated m8 file behind an exit 0.
+	out, err := cliflag.OpenOutput(*outPath)
+	fatal(err)
 
 	for i, qp := range qPaths {
 		queries, err := scoris.LoadBank(fmt.Sprintf("queries.%d", i+1), qp)
@@ -91,7 +89,7 @@ func main() {
 		res, err := session.Compare(queries)
 		fatal(err)
 		elapsed := time.Since(t0)
-		fatal(scoris.WriteBlastnM8(out, res, db, queries))
+		fatal(scoris.WriteBlastnM8(out.W, res, db, queries))
 
 		if *verbose {
 			m := res.Metrics
@@ -103,6 +101,7 @@ func main() {
 				m.Extensions, m.HSPs, m.GappedExtensions)
 		}
 	}
+	fatal(out.Finish())
 }
 
 func fatal(err error) {

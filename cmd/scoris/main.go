@@ -66,6 +66,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// -self compares -d against itself; combining it with -i would
+	// silently ignore the query banks, so a typo'd -self could pass for
+	// the intended query run. Refuse the combination loudly instead.
+	if *self && len(qPaths) > 0 {
+		fmt.Fprintf(os.Stderr, "scoris: -self compares the -d bank against itself and takes no -i query banks (%d given); drop -self or the -i flags\n", len(qPaths))
+		os.Exit(2)
+	}
 
 	// The display name doubles as the store's filename prefix (the
 	// probe for append-aware reuse filters on it), so derive it from
@@ -94,13 +101,12 @@ func main() {
 	}
 	opt.SkipSelfPairs = *self
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		fatal(err)
-		defer f.Close()
-		out = f
-	}
+	// Buffered, checked output: Finish (flush + close, both checked)
+	// runs before the zero exit so a failed or short write — ENOSPC,
+	// quota, a flush-at-close filesystem — exits non-zero instead of
+	// leaving a silently truncated m8 file behind.
+	out, err := cliflag.OpenOutput(*outPath)
+	fatal(err)
 
 	// The cache makes the persistent-db behavior explicit: bank 1's
 	// index is built on the first pair and every later -i reuses it.
@@ -155,7 +161,7 @@ func main() {
 		res, err := scoris.CompareWithIndex(p1, p2, opt)
 		fatal(err)
 		elapsed := time.Since(t0)
-		writeResult(out, res, bank1, bank2, opt, *format)
+		writeResult(out.W, res, bank1, bank2, opt, *format)
 
 		if *verbose {
 			m := res.Metrics
@@ -174,6 +180,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  step4 output  %8.3fs\n", m.Step4Time.Seconds())
 		}
 	}
+
+	// All jobs wrote; the results are complete only once they are
+	// flushed and the file is closed, both checked — exit non-zero
+	// otherwise.
+	fatal(out.Finish())
 
 	// The store summary is the cross-process contract line CI asserts
 	// on: a warm invocation must report 0 builds, and an invocation

@@ -29,6 +29,7 @@ package blastn
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/align"
@@ -189,10 +190,21 @@ type engine struct {
 // of core/blat index reuse for this engine.
 //
 // A Session is NOT safe for concurrent use: the generation-stamped
-// arrays are mutated per query. It is valid only for the (db, Options)
-// it was created with; create one session per database bank.
+// arrays are mutated per query. Compare enforces this with an atomic
+// in-use guard that panics on concurrent entry — corrupting the
+// generation stamps silently (wrong alignments) is strictly worse than
+// a loud crash naming the misuse. Callers that serve many goroutines
+// should hold one Session per goroutine, or a checkout pool handing
+// each Session to one goroutine at a time (internal/server does this).
+// A Session is valid only for the (db, Options) it was created with;
+// create one session per database bank.
 type Session struct {
 	eng *engine // sole owner of the db, options, and reusable arrays
+
+	// inUse is the concurrency guard: set for the duration of Compare
+	// with a compare-and-swap, so overlapped calls are detected at
+	// entry instead of corrupting the engine arrays mid-scan.
+	inUse atomic.Bool
 }
 
 // NewSession validates opt and allocates the reusable engine state for
@@ -215,6 +227,12 @@ func (s *Session) DB() *bank.Bank { return s.eng.db }
 // bank, one query at a time, and returns the merged alignment list
 // sorted for display. db plays the paper's "bank 1" (subject) role.
 func (s *Session) Compare(queries *bank.Bank) (*Result, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		panic("blastn: Session.Compare called concurrently: a Session is NOT safe for concurrent use " +
+			"(its generation-stamped engine arrays are mutated per query); " +
+			"give each goroutine its own Session or serialize access with a checkout pool")
+	}
+	defer s.inUse.Store(false)
 	opt := s.eng.opt
 	res, err := s.compareStrand(queries)
 	if err != nil {

@@ -1,0 +1,120 @@
+package blastn
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSessionConcurrentUsePanics pins the in-use guard deterministically:
+// a Compare entered while the session is already in use must panic with
+// a message naming the misuse, and the session must be fully usable
+// again once the holder releases it.
+func TestSessionConcurrentUsePanics(t *testing.T) {
+	db, q := testBanks(41, 5, 5, 3, 600)
+	s, err := NewSession(db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a concurrent holder mid-Compare.
+	if !s.inUse.CompareAndSwap(false, true) {
+		t.Fatal("fresh session reports in use")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Compare on an in-use session did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "NOT safe for concurrent use") {
+				t.Fatalf("panic message does not name the misuse: %v", r)
+			}
+		}()
+		s.Compare(q)
+	}()
+
+	// Release; the guarded session must work normally again.
+	s.inUse.Store(false)
+	got, err := s.Compare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compare(db, q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Alignments, ref.Alignments) {
+		t.Fatal("session output diverged after a guard panic was recovered")
+	}
+}
+
+// TestSessionGuardUnderRace hammers one session from many goroutines
+// (run under -race in CI): every call must either panic with the guard
+// message or complete with exactly the serial reference alignments —
+// overlapped calls are rejected at entry instead of silently corrupting
+// the generation-stamped arrays.
+func TestSessionGuardUnderRace(t *testing.T) {
+	db, q := testBanks(41, 5, 5, 3, 600)
+	opt := DefaultOptions()
+	ref, err := Compare(db, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Alignments) == 0 {
+		t.Fatal("degenerate test: no alignments")
+	}
+
+	s, err := NewSession(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var completed, panicked int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							msg, ok := rec.(string)
+							if !ok || !strings.Contains(msg, "concurrent") {
+								t.Errorf("unexpected panic: %v", rec)
+							}
+							mu.Lock()
+							panicked++
+							mu.Unlock()
+						}
+					}()
+					got, err := s.Compare(q)
+					if err != nil {
+						t.Errorf("Compare: %v", err)
+						return
+					}
+					if !reflect.DeepEqual(got.Alignments, ref.Alignments) {
+						t.Error("a Compare that won the guard produced corrupt output")
+					}
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if completed+panicked != goroutines*rounds {
+		t.Fatalf("accounting: %d completed + %d panicked != %d calls",
+			completed, panicked, goroutines*rounds)
+	}
+	if completed == 0 {
+		t.Fatal("no call ever won the guard")
+	}
+	t.Logf("%d completed, %d rejected by the guard", completed, panicked)
+}

@@ -1,0 +1,60 @@
+package cliflag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Output is a CLI result sink: stdout by default, or a buffered file
+// for -o. It exists because the naive `f, _ := os.Create(path); defer
+// f.Close()` shape silently truncates results — a failed write or
+// close (ENOSPC, quota, NFS flush-at-close) is discarded by the defer
+// and the process exits 0 over a partial file. Output centralizes the
+// checked flush-then-close pattern (the one cmd/bankgen writes inline)
+// so the tools exit non-zero whenever the bytes did not all land.
+//
+//	out, err := cliflag.OpenOutput(*outPath)
+//	// write to out.W ...
+//	err = out.Finish() // MUST be checked before a zero exit
+type Output struct {
+	// W is the writer to produce results into.
+	W io.Writer
+
+	path string
+	f    *os.File
+	buf  *bufio.Writer
+}
+
+// OpenOutput opens path for writing, buffered; an empty path means
+// stdout.
+func OpenOutput(path string) (*Output, error) {
+	if path == "" {
+		return &Output{W: os.Stdout}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := bufio.NewWriter(f)
+	return &Output{W: buf, path: path, f: f, buf: buf}, nil
+}
+
+// Finish flushes and closes the underlying file, reporting the first
+// failure; for stdout it is a no-op. After Finish the Output must not
+// be written to. A non-nil error means the output file is incomplete
+// and the caller must exit non-zero.
+func (o *Output) Finish() error {
+	if o.f == nil {
+		return nil
+	}
+	if err := o.buf.Flush(); err != nil {
+		o.f.Close()
+		return fmt.Errorf("writing %s: %w", o.path, err)
+	}
+	if err := o.f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", o.path, err)
+	}
+	return nil
+}

@@ -333,3 +333,33 @@ func (c *Cache) DiskErrors() int64 { return c.diskErrs.Load() }
 // declined (ErrSaveDeclined) — the trace that single-use query indexes
 // are being kept out of a policy-bounded store, not silently lost.
 func (c *Cache) SavesDeclined() int64 { return c.savesDeclined.Load() }
+
+// Counters is a point-in-time snapshot of the cache's counters, in one
+// value so observers (the scorisd /stats endpoint, log lines) read a
+// coherent set instead of six racing loads. The JSON tags are the wire
+// names scorisd serves.
+type Counters struct {
+	Builds        int64 `json:"builds"`
+	Lookups       int64 `json:"lookups"`
+	Evictions     int64 `json:"evictions"`
+	DiskHits      int64 `json:"disk_hits"`
+	DiskErrors    int64 `json:"disk_errors"`
+	SavesDeclined int64 `json:"saves_declined"`
+	Entries       int   `json:"entries"`
+}
+
+// Counters snapshots the cache's counters and current size. Each field
+// is individually atomic; the snapshot is taken without the cache lock
+// (except Entries), so counts racing with in-flight Gets may be off by
+// the in-flight operation — fine for the monitoring use it serves.
+func (c *Cache) Counters() Counters {
+	return Counters{
+		Builds:        c.builds.Load(),
+		Lookups:       c.lookups.Load(),
+		Evictions:     c.evictions.Load(),
+		DiskHits:      c.diskHits.Load(),
+		DiskErrors:    c.diskErrs.Load(),
+		SavesDeclined: c.savesDeclined.Load(),
+		Entries:       c.Len(),
+	}
+}

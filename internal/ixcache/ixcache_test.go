@@ -347,3 +347,31 @@ func TestStoreSingleFlight(t *testing.T) {
 			s.loads, c.DiskHits(), c.Builds(), s.saves, baseline)
 	}
 }
+
+// TestCountersSnapshot: the one-call snapshot (what scorisd's /stats
+// serves) agrees with the individual counter accessors.
+func TestCountersSnapshot(t *testing.T) {
+	b1 := testBank(t, "b1", randomishSeq(512))
+	b2 := testBank(t, "b2", randomishSeq(600))
+	c := New(8)
+	c.Get(b1, index.Options{W: 8})
+	c.Get(b1, index.Options{W: 8}) // hit
+	c.Get(b2, index.Options{W: 8})
+
+	got := c.Counters()
+	want := Counters{
+		Builds:        c.Builds(),
+		Lookups:       c.Lookups(),
+		Evictions:     c.Evictions(),
+		DiskHits:      c.DiskHits(),
+		DiskErrors:    c.DiskErrors(),
+		SavesDeclined: c.SavesDeclined(),
+		Entries:       c.Len(),
+	}
+	if got != want {
+		t.Errorf("Counters() = %+v, accessors say %+v", got, want)
+	}
+	if got.Builds != 2 || got.Lookups != 3 || got.Entries != 2 {
+		t.Errorf("counter values off: %+v", got)
+	}
+}

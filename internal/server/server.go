@@ -1,0 +1,774 @@
+// Package server is the long-lived comparison service of the
+// reproduction: scorisd. The paper's premise is *intensive* comparison
+// — many query banks thrown against long-lived subject banks — and the
+// prepared-bank substrate (ixcache single-flight builds, the ixdisk
+// mmap store with append-aware reuse) exists precisely so index builds
+// amortize across comparisons. This package turns that substrate into a
+// server: banks are registered once (POST /banks), comparisons are
+// served from prepared indexes (POST /compare) with zero per-request
+// builds after first touch, and the cache/store counters that prove the
+// amortization are surfaced live (GET /stats).
+//
+// # Request lifecycle
+//
+// A compare request passes admission control first: the server runs at
+// most MaxConcurrent comparisons at once and lets at most QueueDepth
+// more wait; anything beyond that is rejected immediately with 429 so
+// overload degrades into fast, explicit backpressure instead of
+// unbounded queueing. An admitted request resolves its banks from the
+// registry, clamps its Workers to the per-request cap (one request
+// cannot monopolize the machine), and runs its engine:
+//
+//   - oris — core.Prepare against the shared ixcache (single-flight:
+//     concurrent first touches of one bank share one build; a store
+//     tier makes restarts warm) then core.CompareWithIndex;
+//   - blat — the cached non-overlapping tile index of the db bank,
+//     then blat.CompareWithIndex;
+//   - blastn — a blastn.Session checked out of the per-(db, options)
+//     session pool for the duration of the compare (a Session is not
+//     concurrent-safe; its atomic in-use guard is the backstop).
+//
+// Results are written as BLAST -m 8 tabular text — byte-identical to
+// the scoris CLI's output for the same (bank, options) pair, which the
+// stress tests and the CI service job assert — or as JSON.
+//
+// Graceful shutdown is the standard http.Server.Shutdown contract: the
+// listener stops accepting, in-flight compares run to completion, and
+// cmd/scorisd exits 0 only after the drain.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/blastn"
+	"repro/internal/blat"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/ixcache"
+	"repro/internal/ixdisk"
+	"repro/internal/stats"
+	"repro/internal/tabular"
+)
+
+// Config bounds the server's concurrency and wires its storage tiers.
+type Config struct {
+	// MaxConcurrent is the comparison worker-pool size: at most this
+	// many compares run at once. Non-positive means GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the MaxConcurrent running ones before new requests are
+	// rejected with 429. Zero means the default (2 × MaxConcurrent);
+	// negative means no queue at all.
+	QueueDepth int
+	// RequestWorkers caps the Workers option of any single compare, so
+	// one request cannot monopolize every core. Non-positive means
+	// max(1, GOMAXPROCS / MaxConcurrent) — full parallelism for a lone
+	// request shape, fair shares under a full pool.
+	RequestWorkers int
+	// CacheEntries bounds the shared index cache (non-positive: the
+	// ixcache default).
+	CacheEntries int
+	// MaxIdleSessions bounds the idle blastn sessions kept per
+	// (db bank, options) key. Non-positive means MaxConcurrent.
+	MaxIdleSessions int
+	// MaxBanks bounds the registry: each registered bank pins its full
+	// sequence data in memory, so without a bound query-bank churn is
+	// a slow OOM. Registration past the bound is refused; DELETE
+	// /banks releases spent banks. Non-positive means DefaultMaxBanks.
+	MaxBanks int
+	// Store, when non-nil, is attached as the cache's persistent tier:
+	// index builds survive restarts, and banks registered with "db"
+	// are MarkDB'd into it.
+	Store *ixdisk.DirStore
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 2 * c.MaxConcurrent
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.RequestWorkers <= 0 {
+		c.RequestWorkers = runtime.GOMAXPROCS(0) / c.MaxConcurrent
+		if c.RequestWorkers < 1 {
+			c.RequestWorkers = 1
+		}
+	}
+	if c.MaxIdleSessions <= 0 {
+		c.MaxIdleSessions = c.MaxConcurrent
+	}
+	if c.MaxBanks <= 0 {
+		c.MaxBanks = DefaultMaxBanks
+	}
+	return c
+}
+
+// DefaultMaxBanks is the registry bound when Config.MaxBanks is unset.
+const DefaultMaxBanks = 1024
+
+// Server is the comparison service. Create with New, mount Handler on
+// an http.Server. All methods are safe for concurrent use.
+type Server struct {
+	cfg      Config
+	cache    *ixcache.Cache
+	store    *ixdisk.DirStore
+	sessions *sessionPool
+
+	mu    sync.RWMutex
+	banks map[string]*bankEntry
+
+	// sem has MaxConcurrent slots: holding one is the right to run a
+	// compare. admitted counts running + waiting requests; admission
+	// rejects when it would exceed MaxConcurrent + QueueDepth.
+	sem      chan struct{}
+	admitted atomic.Int64
+
+	requests atomic.Int64 // HTTP requests seen (all endpoints)
+	compares atomic.Int64 // compares completed successfully
+	rejected atomic.Int64 // compares refused by admission control
+
+	gcMu   sync.Mutex
+	lastGC *ixdisk.GCStats
+
+	// testHoldCompare, when non-nil, is received from inside the
+	// admitted section of every compare — the hook that lets tests park
+	// a compare mid-flight deterministically (admission overflow and
+	// graceful-drain tests). Set before the server handles traffic.
+	testHoldCompare chan struct{}
+}
+
+type bankEntry struct {
+	bank *bank.Bank
+	crc  uint64 // content identity, for idempotent re-registration
+	db   bool
+}
+
+// New returns a ready server. The cache (and store tier, if
+// configured) is shared by every request for the server's lifetime —
+// that sharing is what makes the service "prepared": each
+// (bank, options) index is built at most once per process, and with a
+// store at most once ever.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := ixcache.New(cfg.CacheEntries)
+	if cfg.Store != nil {
+		cache.SetStore(cfg.Store)
+	}
+	return &Server{
+		cfg:      cfg,
+		cache:    cache,
+		store:    cfg.Store,
+		sessions: newSessionPool(cfg.MaxIdleSessions),
+		banks:    make(map[string]*bankEntry),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Cache exposes the shared index cache (tests assert its counters).
+func (s *Server) Cache() *ixcache.Cache { return s.cache }
+
+// Config returns the effective configuration, defaults filled in.
+func (s *Server) Config() Config { return s.cfg }
+
+// RegisterBank adds b to the registry under name. Registering the same
+// content under the same name again is idempotent; different content
+// under a taken name is refused, and so is growing the registry past
+// MaxBanks — each entry pins the bank's full sequence data in memory,
+// so an unbounded registry is a slow OOM under query-bank churn
+// (deregister spent query banks with DELETE /banks, or raise the cap).
+// db marks the bank as a long-lived database bank: with a store
+// configured it is MarkDB'd so DBOnly save policies persist its index.
+func (s *Server) RegisterBank(name string, b *bank.Bank, db bool) error {
+	if name == "" {
+		return fmt.Errorf("server: bank name must be non-empty")
+	}
+	crc := ixdisk.BankChecksum(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.banks[name]; ok {
+		if prev.crc != crc || len(prev.bank.Data) != len(b.Data) {
+			return fmt.Errorf("server: bank %q already registered with different content", name)
+		}
+		// Idempotent re-registration; allow a later call to upgrade the
+		// bank to db status (never to silently downgrade it).
+		if db && !prev.db {
+			prev.db = true
+			if s.store != nil {
+				s.store.MarkDB(prev.bank)
+			}
+		}
+		return nil
+	}
+	if len(s.banks) >= s.cfg.MaxBanks {
+		return fmt.Errorf("server: bank registry full (%d banks); DELETE spent banks or raise MaxBanks", len(s.banks))
+	}
+	s.banks[name] = &bankEntry{bank: b, crc: crc, db: db}
+	if db && s.store != nil {
+		s.store.MarkDB(b)
+	}
+	return nil
+}
+
+// DeregisterBank removes name from the registry, releasing the
+// server's reference to the bank (and through the cache's LRU,
+// eventually its indexes). Compares already in flight hold their own
+// bank pointer and are unaffected — banks are immutable. Removing an
+// unknown name reports false.
+func (s *Server) DeregisterBank(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.banks[name]; !ok {
+		return false
+	}
+	delete(s.banks, name)
+	return true
+}
+
+// lookupBank resolves a registered bank by name.
+func (s *Server) lookupBank(name string) (*bank.Bank, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.banks[name]
+	if !ok {
+		return nil, false
+	}
+	return e.bank, true
+}
+
+// admit implements admission control: a request either gets a worker
+// slot (possibly after waiting in the bounded queue) and a release
+// function, or is refused because the queue is full. Refusal is O(1) —
+// overload answers immediately instead of stacking requests.
+func (s *Server) admit() (release func(), ok bool) {
+	if n := s.admitted.Add(1); n > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
+		s.admitted.Add(-1)
+		s.rejected.Add(1)
+		return nil, false
+	}
+	s.sem <- struct{}{}
+	return func() {
+		<-s.sem
+		s.admitted.Add(-1)
+	}, true
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/banks", s.countRequests(s.handleBanks))
+	mux.HandleFunc("/compare", s.countRequests(s.handleCompare))
+	mux.HandleFunc("/stats", s.countRequests(s.handleStats))
+	mux.HandleFunc("/gc", s.countRequests(s.handleGC))
+	mux.HandleFunc("/healthz", s.countRequests(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	return mux
+}
+
+func (s *Server) countRequests(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// bankRequest registers a bank. Either Path names a FASTA file readable
+// by the server process, or the request body carries FASTA text (any
+// non-JSON content type) with name/db taken from query parameters.
+type bankRequest struct {
+	// Name the bank is registered under (compare requests refer to it).
+	Name string `json:"name"`
+	// Path of a FASTA file on the server's filesystem.
+	Path string `json:"path"`
+	// DB marks the long-lived database side of the workload.
+	DB bool `json:"db"`
+}
+
+// bankInfo describes one registered bank.
+type bankInfo struct {
+	Name      string  `json:"name"`
+	Sequences int     `json:"sequences"`
+	Bases     int     `json:"bases"`
+	Mbp       float64 `json:"mbp"`
+	DB        bool    `json:"db"`
+}
+
+func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		infos := make([]bankInfo, 0, len(s.banks))
+		for name, e := range s.banks {
+			infos = append(infos, bankInfo{
+				Name: name, Sequences: e.bank.NumSeqs(),
+				Bases: e.bank.TotalBases(), Mbp: e.bank.Mbp(), DB: e.db,
+			})
+		}
+		s.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(infos)
+	case http.MethodPost:
+		var req bankRequest
+		var b *bank.Bank
+		// The body is either a JSON bankRequest or raw FASTA text;
+		// dispatch on the first byte ('>' opens a FASTA header, '{' a
+		// JSON object) rather than the Content-Type header, so plain
+		// `curl -d '{...}'` works without header ceremony.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading bank request: %v", err)
+			return
+		}
+		if !bytes.HasPrefix(bytes.TrimLeft(body, " \t\r\n"), []byte(">")) {
+			if err := json.Unmarshal(body, &req); err != nil {
+				httpError(w, http.StatusBadRequest, "bad bank request: %v", err)
+				return
+			}
+			if req.Path == "" {
+				httpError(w, http.StatusBadRequest, "bank request needs a path (or POST FASTA text with a ?name= parameter)")
+				return
+			}
+			if req.Name == "" {
+				req.Name = req.Path
+			}
+			b, err = bank.FromFile(req.Name, req.Path)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "loading bank: %v", err)
+				return
+			}
+		} else {
+			// Raw FASTA body: ?name= is required, ?db=1 optional.
+			req.Name = r.URL.Query().Get("name")
+			req.DB = r.URL.Query().Get("db") != "" && r.URL.Query().Get("db") != "0"
+			if req.Name == "" {
+				httpError(w, http.StatusBadRequest, "FASTA-body registration needs a ?name= parameter")
+				return
+			}
+			recs, err := fasta.ParseAll(body)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "parsing FASTA body: %v", err)
+				return
+			}
+			if len(recs) == 0 {
+				httpError(w, http.StatusBadRequest, "FASTA body holds no sequences")
+				return
+			}
+			b = bank.New(req.Name, recs)
+		}
+		if err := s.RegisterBank(req.Name, b, req.DB); err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		// Re-read the entry: an idempotent re-registration answers with
+		// the bank and db status that actually serve (RegisterBank may
+		// have kept the original pointer and never downgrades db).
+		info, _ := s.bankInfoFor(req.Name)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	case http.MethodDelete:
+		// DELETE /banks?name=x releases a spent bank (typically a
+		// one-shot query bank) so the registry stays bounded under
+		// churn. In-flight compares are unaffected; see DeregisterBank.
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "DELETE needs a ?name= parameter")
+			return
+		}
+		if !s.DeregisterBank(name) {
+			httpError(w, http.StatusNotFound, "unknown bank %q", name)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"deleted": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET, POST, or DELETE")
+	}
+}
+
+// bankInfoFor snapshots the registry entry for name.
+func (s *Server) bankInfoFor(name string) (bankInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.banks[name]
+	if !ok {
+		return bankInfo{}, false
+	}
+	return bankInfo{
+		Name: name, Sequences: e.bank.NumSeqs(),
+		Bases: e.bank.TotalBases(), Mbp: e.bank.Mbp(), DB: e.db,
+	}, true
+}
+
+// compareRequest is one comparison. Optional fields are pointers so
+// "absent" is distinguishable from a zero value; absent fields take the
+// engine's defaults — the same defaults the scoris CLI flags carry, so
+// a default-shaped request is byte-identical to a default CLI run.
+type compareRequest struct {
+	// DB and Query name registered banks: DB is the subject/database
+	// side (the paper's bank 1), Query the query side.
+	DB    string `json:"db"`
+	Query string `json:"query"`
+	// Engine: "oris" (default), "blat", or "blastn".
+	Engine string `json:"engine"`
+	// Format: "m8" (default; BLAST -m 8 tabular text) or "json".
+	Format string `json:"format"`
+	// Self compares the db bank against itself, reporting the upper
+	// triangle only (oris engine; Query must be empty or equal DB).
+	Self bool `json:"self"`
+
+	W           *int     `json:"w"`
+	MaxEValue   *float64 `json:"max_evalue"`
+	BothStrands *bool    `json:"both_strands"`
+	Dust        *bool    `json:"dust"`
+	Workers     *int     `json:"workers"`
+	Asymmetric  *bool    `json:"asymmetric"`
+	Match       *int     `json:"match"`
+	Mismatch    *int     `json:"mismatch"`
+	GapOpen     *int     `json:"gap_open"`
+	GapExtend   *int     `json:"gap_extend"`
+}
+
+// compareResponse is the JSON format of a compare result.
+type compareResponse struct {
+	Engine     string           `json:"engine"`
+	DB         string           `json:"db"`
+	Query      string           `json:"query"`
+	Alignments []tabular.Record `json:"alignments"`
+}
+
+// clampWorkers applies the per-request parallelism cap: unset (or
+// "all cores", the CLI's 0) becomes the server's fair share, explicit
+// requests are honored up to that cap.
+func (s *Server) clampWorkers(req *int) int {
+	if req == nil || *req <= 0 || *req > s.cfg.RequestWorkers {
+		return s.cfg.RequestWorkers
+	}
+	return *req
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req compareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad compare request: %v", err)
+		return
+	}
+	if req.Self {
+		if req.Query != "" && req.Query != req.DB {
+			httpError(w, http.StatusBadRequest, "self-comparison takes no separate query bank (query %q given)", req.Query)
+			return
+		}
+		req.Query = req.DB
+	}
+	if req.DB == "" || req.Query == "" {
+		httpError(w, http.StatusBadRequest, "compare request needs db and query bank names")
+		return
+	}
+	db, ok := s.lookupBank(req.DB)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown db bank %q (register it with POST /banks)", req.DB)
+		return
+	}
+	query, ok := s.lookupBank(req.Query)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query bank %q (register it with POST /banks)", req.Query)
+		return
+	}
+	switch req.Format {
+	case "", "m8", "json":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (use m8 or json)", req.Format)
+		return
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"server at capacity (%d running, %d queued); retry",
+			s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+		return
+	}
+	defer release()
+	if hold := s.testHoldCompare; hold != nil {
+		<-hold
+	}
+
+	recs, err := s.runCompare(db, query, &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.compares.Add(1)
+
+	if req.Format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if recs == nil {
+			recs = []tabular.Record{}
+		}
+		json.NewEncoder(w).Encode(compareResponse{
+			Engine: engineName(req.Engine), DB: req.DB, Query: req.Query,
+			Alignments: recs,
+		})
+		return
+	}
+	// m8: the exact byte stream the scoris/goblastn CLIs write.
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	tabular.Write(w, recs)
+}
+
+func engineName(e string) string {
+	if e == "" {
+		return "oris"
+	}
+	return e
+}
+
+// runCompare dispatches to the selected engine and converts the
+// alignments with the same tabular conversion the CLIs use, so the m8
+// bytes match the CLI byte for byte.
+func (s *Server) runCompare(db, query *bank.Bank, req *compareRequest) ([]tabular.Record, error) {
+	switch engineName(req.Engine) {
+	case "oris":
+		opt := core.DefaultOptions()
+		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+		if req.BothStrands != nil && *req.BothStrands {
+			opt.Strand = core.BothStrands
+		}
+		if req.Asymmetric != nil && *req.Asymmetric {
+			opt.W = 10
+			opt.Asymmetric = true
+		}
+		opt.Workers = s.clampWorkers(req.Workers)
+		opt.SkipSelfPairs = req.Self
+		p1, p2, err := core.Prepare(s.cache, db, query, opt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.CompareWithIndex(p1, p2, opt)
+		if err != nil {
+			return nil, err
+		}
+		return toRecords(res.Alignments, db, query), nil
+	case "blat":
+		// Result-changing options an engine does not implement are
+		// refused, not silently dropped — a 200 carrying half the
+		// strands the client asked for is this PR's -self/-i bug in
+		// HTTP form. (workers stays accepted everywhere: parallelism
+		// is the server's scheduling decision, never a result change.)
+		if req.Self {
+			return nil, fmt.Errorf("self-comparison is an oris-engine mode")
+		}
+		if req.BothStrands != nil && *req.BothStrands {
+			return nil, fmt.Errorf("the blat engine searches a single strand only (drop both_strands or use engine oris/blastn)")
+		}
+		if req.Asymmetric != nil && *req.Asymmetric {
+			return nil, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
+		}
+		opt := blat.DefaultOptions()
+		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+		pdb := s.cache.Get(db, opt.IndexOptions())
+		res, err := blat.CompareWithIndex(pdb, query, opt)
+		if err != nil {
+			return nil, err
+		}
+		return toRecords(res.Alignments, db, query), nil
+	case "blastn":
+		if req.Self {
+			return nil, fmt.Errorf("self-comparison is an oris-engine mode")
+		}
+		if req.Asymmetric != nil && *req.Asymmetric {
+			return nil, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
+		}
+		opt := blastn.DefaultOptions()
+		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+		if req.BothStrands != nil {
+			opt.BothStrands = *req.BothStrands
+		}
+		sess, err := s.sessions.checkout(db, opt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sess.Compare(query)
+		// Check the session back in on every path: a Session survives
+		// a failed compare (errors are option/stats-shaped, detected
+		// before the engine arrays are touched).
+		s.sessions.checkin(db, opt, sess)
+		if err != nil {
+			return nil, err
+		}
+		return toRecords(res.Alignments, db, query), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (use oris, blat, or blastn)", req.Engine)
+	}
+}
+
+// applyCommon copies the option fields shared by all three engines.
+func applyCommon(w *int, maxE *float64, dustOn *bool, scoring *stats.Scoring, req *compareRequest) {
+	if req.W != nil {
+		*w = *req.W
+	}
+	if req.MaxEValue != nil {
+		*maxE = *req.MaxEValue
+	}
+	if req.Dust != nil {
+		*dustOn = *req.Dust
+	}
+	if req.Match != nil {
+		scoring.Match = *req.Match
+	}
+	if req.Mismatch != nil {
+		scoring.Mismatch = *req.Mismatch
+	}
+	if req.GapOpen != nil {
+		scoring.GapOpen = *req.GapOpen
+	}
+	if req.GapExtend != nil {
+		scoring.GapExtend = *req.GapExtend
+	}
+}
+
+func toRecords(as []align.Alignment, db, query *bank.Bank) []tabular.Record {
+	out := make([]tabular.Record, len(as))
+	for i := range as {
+		out[i] = tabular.FromAlignment(&as[i], db, query)
+	}
+	return out
+}
+
+// Stats is the /stats payload: the counters that prove (or disprove)
+// the amortization story live, per tier.
+type Stats struct {
+	Banks int              `json:"banks"`
+	Cache ixcache.Counters `json:"cache"`
+	// Store is nil when no persistent tier is configured.
+	Store *StoreStats `json:"store,omitempty"`
+	// LastGC is the most recent store collection triggered through the
+	// server (nil before the first /gc).
+	LastGC   *ixdisk.GCStats `json:"last_gc,omitempty"`
+	Server   ServerStats     `json:"server"`
+	Sessions SessionStats    `json:"sessions"`
+}
+
+// StoreStats are the DirStore-side counters (the cache's DiskHits /
+// DiskErrors / SavesDeclined live under Cache).
+type StoreStats struct {
+	Extends         int64  `json:"suffix_extensions"`
+	SavesDeclined   int64  `json:"saves_declined"`
+	WriteBackErrors int64  `json:"write_back_errors"`
+	Dir             string `json:"dir"`
+}
+
+// ServerStats count the HTTP side.
+type ServerStats struct {
+	Requests       int64 `json:"requests"`
+	Compares       int64 `json:"compares"`
+	Rejected       int64 `json:"rejected"`
+	InFlight       int   `json:"in_flight"`
+	Admitted       int64 `json:"admitted"`
+	MaxConcurrent  int   `json:"max_concurrent"`
+	QueueDepth     int   `json:"queue_depth"`
+	RequestWorkers int   `json:"request_workers"`
+}
+
+// SessionStats count the blastn session pool.
+type SessionStats struct {
+	Created   int64 `json:"created"`
+	Checkouts int64 `json:"checkouts"`
+	Idle      int   `json:"idle"`
+}
+
+// StatsSnapshot assembles the current Stats (also used by tests
+// directly, without HTTP).
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.RLock()
+	nBanks := len(s.banks)
+	s.mu.RUnlock()
+	st := Stats{
+		Banks: nBanks,
+		Cache: s.cache.Counters(),
+		Server: ServerStats{
+			Requests:       s.requests.Load(),
+			Compares:       s.compares.Load(),
+			Rejected:       s.rejected.Load(),
+			InFlight:       len(s.sem),
+			Admitted:       s.admitted.Load(),
+			MaxConcurrent:  s.cfg.MaxConcurrent,
+			QueueDepth:     s.cfg.QueueDepth,
+			RequestWorkers: s.cfg.RequestWorkers,
+		},
+		Sessions: SessionStats{
+			Created:   s.sessions.created.Load(),
+			Checkouts: s.sessions.checkouts.Load(),
+			Idle:      s.sessions.idleCount(),
+		},
+	}
+	if s.store != nil {
+		st.Store = &StoreStats{
+			Extends:         s.store.Extends(),
+			SavesDeclined:   s.store.SavesDeclined(),
+			WriteBackErrors: s.store.WriteBackErrors(),
+			Dir:             s.store.Dir(),
+		}
+	}
+	s.gcMu.Lock()
+	st.LastGC = s.lastGC
+	s.gcMu.Unlock()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.StatsSnapshot())
+}
+
+// handleGC runs a store collection on demand and reports it. Without a
+// store the endpoint answers 404: there is nothing to collect.
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no index store configured")
+		return
+	}
+	st, err := s.store.GC()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "gc: %v", err)
+		return
+	}
+	s.gcMu.Lock()
+	s.lastGC = &st
+	s.gcMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

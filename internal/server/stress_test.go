@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/blastn"
+	"repro/internal/blat"
+	"repro/internal/ixdisk"
+	"repro/internal/simulate"
+	"repro/internal/tabular"
+)
+
+// TestServerStress (run under -race in CI) fires mixed concurrent
+// requests — same db bank from every goroutine, distinct query banks,
+// all three engines — and asserts the two service invariants:
+//
+//  1. every response is byte-identical to the serial engine output for
+//     its (bank, options) pair — concurrency never changes results;
+//  2. the shared cache reports exactly one index build per
+//     (bank, options) key across the whole run — the single-flight
+//     machinery really did coalesce every concurrent first touch.
+func TestServerStress(t *testing.T) {
+	est1, est2, est3 := testBanks(t)
+	srv := New(Config{MaxConcurrent: 4, QueueDepth: 1 << 20})
+	for _, reg := range []struct {
+		name string
+		b    *bank.Bank
+		db   bool
+	}{{"est1", est1, true}, {"est2", est2, false}, {"est3", est3, false}} {
+		if err := srv.RegisterBank(reg.name, reg.b, reg.db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Serial references, computed before any server traffic.
+	workers := srv.Config().RequestWorkers
+	blatRef := func() []byte {
+		res, err := blat.Compare(est1, est2, blat.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tabular.Write(&buf, toRecords(res.Alignments, est1, est2)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	blastnRef := func() []byte {
+		res, err := blastn.Compare(est1, est2, blastn.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tabular.Write(&buf, toRecords(res.Alignments, est1, est2)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	shapes := []struct {
+		name string
+		req  string
+		want []byte
+	}{
+		{"oris-est2", `{"db":"est1","query":"est2"}`, serialORIS(t, est1, est2, workers, false)},
+		{"oris-est3", `{"db":"est1","query":"est3"}`, serialORIS(t, est1, est3, workers, false)},
+		{"blat-est2", `{"db":"est1","query":"est2","engine":"blat"}`, blatRef},
+		{"blastn-est2", `{"db":"est1","query":"est2","engine":"blastn"}`, blastnRef},
+	}
+	for _, sh := range shapes {
+		if len(sh.want) == 0 {
+			t.Fatalf("degenerate reference for %s: no output", sh.name)
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Rotate the starting shape per goroutine so first
+				// touches of every key race with each other.
+				for i := range shapes {
+					sh := shapes[(g+i)%len(shapes)]
+					status, got := postCompare(t, ts.URL, sh.req)
+					if status != 200 {
+						t.Errorf("%s: status %d: %s", sh.name, status, got)
+						return
+					}
+					if !bytes.Equal(got, sh.want) {
+						t.Errorf("%s: response differs from serial output (%d vs %d bytes)",
+							sh.name, len(got), len(sh.want))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Exactly one build per key: est1/est2/est3 under the oris options
+	// plus est1's blat tile index. blastn builds no bank index.
+	if b := srv.Cache().Builds(); b != 4 {
+		t.Errorf("cache built %d indexes across the stress run, want exactly 4", b)
+	}
+	if rej := srv.rejected.Load(); rej != 0 {
+		t.Errorf("%d requests rejected despite the deep queue", rej)
+	}
+	want := int64(goroutines * rounds * len(shapes))
+	if c := srv.compares.Load(); c != want {
+		t.Errorf("%d compares completed, want %d", c, want)
+	}
+}
+
+// TestServerStoreWarmStart: a second server over the same store
+// directory (fresh process simulation: fresh cache, fresh DirStore,
+// freshly loaded banks with identical content) must serve a full
+// concurrent wave with zero index builds — every key comes off disk.
+func TestServerStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+
+	run := func(wantBuilds, wantDiskHits int64) {
+		t.Helper()
+		// Fresh banks each time: content-identical, different pointers —
+		// exactly what a new process sees.
+		ds := simulate.NewDataSet(256)
+		est1, est2, est3 := ds.Get(simulate.EST1), ds.Get(simulate.EST2), ds.Get(simulate.EST3)
+		store, err := ixdisk.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		srv := New(Config{MaxConcurrent: 4, QueueDepth: 1 << 20, Store: store})
+		if err := srv.RegisterBank("est1", est1, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RegisterBank("est2", est2, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RegisterBank("est3", est3, false); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		workers := srv.Config().RequestWorkers
+		shapes := []struct {
+			req  string
+			want []byte
+		}{
+			{`{"db":"est1","query":"est2"}`, serialORIS(t, est1, est2, workers, false)},
+			{`{"db":"est1","query":"est3"}`, serialORIS(t, est1, est3, workers, false)},
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := range shapes {
+					sh := shapes[(g+i)%len(shapes)]
+					status, got := postCompare(t, ts.URL, sh.req)
+					if status != 200 || !bytes.Equal(got, sh.want) {
+						t.Errorf("warm-start wave: status %d, %d vs %d bytes", status, len(got), len(sh.want))
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if b := srv.Cache().Builds(); b != wantBuilds {
+			t.Errorf("builds = %d, want %d", b, wantBuilds)
+		}
+		if h := srv.Cache().DiskHits(); h != wantDiskHits {
+			t.Errorf("disk hits = %d, want %d", h, wantDiskHits)
+		}
+	}
+
+	// Cold server: three keys built (est1, est2, est3), nothing on disk.
+	run(3, 0)
+	// Warm server: zero builds, all three keys served from the store.
+	run(0, 3)
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/ixdisk"
 	"repro/internal/render"
 	"repro/internal/sensemetric"
+	"repro/internal/server"
 	"repro/internal/tabular"
 )
 
@@ -183,6 +184,26 @@ func Prepare(cache *IndexCache, bank1, bank2 *Bank, opt Options) (p1, p2 *Prepar
 func CompareWithIndex(p1, p2 *Prepared, opt Options) (*Result, error) {
 	return core.CompareWithIndex(p1, p2, opt)
 }
+
+// CompareServer is the embeddable form of the scorisd comparison
+// service: bank registry, bounded-concurrency compare endpoints served
+// from prepared indexes, blastn session checkout pool, and live
+// cache/store counters. Mount Handler() on an http.Server; see package
+// internal/server for the request lifecycle and cmd/scorisd for the
+// daemon wiring (graceful drain, store flags).
+type CompareServer = server.Server
+
+// CompareServerConfig bounds a CompareServer: worker pool size,
+// admission queue depth, per-request Workers cap, cache size, and the
+// optional persistent index store tier.
+type CompareServerConfig = server.Config
+
+// CompareServerStats is the /stats payload of a CompareServer.
+type CompareServerStats = server.Stats
+
+// NewCompareServer returns a comparison service for cfg (zero value:
+// all defaults, no persistent store).
+func NewCompareServer(cfg CompareServerConfig) *CompareServer { return server.New(cfg) }
 
 // BlastnSession is the baseline's prepared form: one database bank plus
 // reusable engine state, for searching many query banks against one db.
