@@ -2,6 +2,8 @@ package scoris
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -9,6 +11,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -458,5 +461,219 @@ func TestCLIExperimentsSmoke(t *testing.T) {
 	out, _ := runTool(t, "./cmd/experiments", "-exp", "datasets", "-scale", "256")
 	if !strings.Contains(out, "T1 — data sets") || !strings.Contains(out, "| H10 |") {
 		t.Errorf("experiments datasets output malformed:\n%.400s", out)
+	}
+}
+
+// TestCLIFleetServe is the fleet story end to end with real processes:
+// three scorisd workers sharing one -index-dir (two fronted by
+// scoris-router's -worker flags, one joining itself via -register),
+// banks registered through the router, the db bank's primary owner
+// SIGKILLed, and a wave of compares that must nevertheless come back
+// byte-identical to the single-process CLI — with the retries visible
+// in the router's ledger and a clean router drain at the end.
+func TestCLIFleetServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	runTool(t, "./cmd/bankgen", "-out", dir, "-scale", "256",
+		"-q", "-bank", "EST1", "-bank", "EST2")
+	est1 := filepath.Join(dir, "EST1.fasta")
+	est2 := filepath.Join(dir, "EST2.fasta")
+	ixdir := filepath.Join(dir, "ixstore")
+
+	workerBin := filepath.Join(dir, "scorisd")
+	if out, err := exec.Command("go", "build", "-o", workerBin, "./cmd/scorisd").CombinedOutput(); err != nil {
+		t.Fatalf("building scorisd: %v\n%s", err, out)
+	}
+	routerBin := filepath.Join(dir, "scoris-router")
+	if out, err := exec.Command("go", "build", "-o", routerBin, "./cmd/scoris-router").CombinedOutput(); err != nil {
+		t.Fatalf("building scoris-router: %v\n%s", err, out)
+	}
+
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+	waddrs := []string{freeAddr(), freeAddr(), freeAddr()}
+	raddr := freeAddr()
+	base := "http://" + raddr
+
+	// w1 and w2 are static -worker entries; w3 announces itself.
+	procs := map[string]*exec.Cmd{}
+	for i, wa := range waddrs {
+		name := fmt.Sprintf("w%d", i+1)
+		args := []string{"-addr", wa, "-index-dir", ixdir}
+		if i == 2 {
+			args = append(args, "-register", base, "-advertise", "http://"+wa, "-worker-name", name)
+		}
+		cmd := exec.Command(workerBin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+		procs[name] = cmd
+	}
+
+	var routerErr strings.Builder
+	router := exec.Command(routerBin, "-addr", raddr,
+		"-worker", "w1=http://"+waddrs[0],
+		"-worker", "w2=http://"+waddrs[1],
+		"-probe-interval", "200ms", "-retry-base", "10ms")
+	router.Stderr = &routerErr
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Process.Kill()
+
+	// Wait until the router is up AND all three workers (w3 via its own
+	// -register announcement) show as up.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/workers")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Count(string(body), `"state":"up"`) == 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never converged to 3 up workers\nrouter stderr:\n%s", routerErr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Register both banks through the router (path specs: the workers
+	// load the FASTA themselves).
+	for _, reg := range []string{
+		`{"name":"db","path":"` + est1 + `","db":true}`,
+		`{"name":"q","path":"` + est2 + `"}`,
+	} {
+		resp, err := http.Post(base+"/banks", "application/json", strings.NewReader(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fleet bank registration: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	// The serial oracle for the same pair.
+	cliOut := filepath.Join(dir, "cli.m8")
+	runTool(t, "./cmd/scoris", "-d", est1, "-i", est2, "-o", cliOut)
+	want, err := os.ReadFile(cliOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func() (int, []byte) {
+		resp, err := http.Post(base+"/compare", "application/json",
+			strings.NewReader(`{"db":"db","query":"q"}`))
+		if err != nil {
+			return -1, []byte(err.Error())
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Warm-up: the owner builds and persists both indexes to the shared
+	// store.
+	if status, body := compare(); status != http.StatusOK {
+		t.Fatalf("warm-up fleet compare: status %d: %s\nrouter stderr:\n%s", status, body, routerErr.String())
+	}
+
+	// Find the db bank's primary owner and SIGKILL it, then run a
+	// concurrent wave: zero client-visible failures, every body
+	// byte-identical to the CLI.
+	resp, err := http.Get(base + "/banks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var banks []struct {
+		Name   string   `json:"name"`
+		Owners []string `json:"owners"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&banks)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owner string
+	for _, b := range banks {
+		if b.Name == "db" && len(b.Owners) > 0 {
+			owner = b.Owners[0]
+		}
+	}
+	if owner == "" {
+		t.Fatalf("router reports no owner for the db bank: %+v", banks)
+	}
+	if err := procs[owner].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	const waveN = 6
+	statuses := make([]int, waveN)
+	bodies := make([][]byte, waveN)
+	var wg sync.WaitGroup
+	for i := 0; i < waveN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], bodies[i] = compare()
+		}(i)
+	}
+	wg.Wait()
+	for i := range statuses {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("wave compare %d after owner kill: status %d: %s\nrouter stderr:\n%s",
+				i, statuses[i], bodies[i], routerErr.String())
+		}
+		if !bytes.Equal(bodies[i], want) {
+			t.Errorf("wave compare %d differs from CLI output (%d vs %d bytes)", i, len(bodies[i]), len(want))
+		}
+	}
+
+	// The ledger shows the failover happened.
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Router struct {
+			Retries   int64 `json:"retries"`
+			Failovers int64 `json:"failovers"`
+			Shed      int64 `json:"shed"`
+		} `json:"router"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Router.Failovers < 1 || stats.Router.Retries < 1 {
+		t.Errorf("owner kill left no ledger trace: %+v", stats.Router)
+	}
+	if stats.Router.Shed != 0 {
+		t.Errorf("router shed %d compares with live replicas present", stats.Router.Shed)
+	}
+
+	// Router drains clean on SIGTERM.
+	if err := router.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Wait(); err != nil {
+		t.Fatalf("scoris-router did not exit cleanly on SIGTERM: %v\nstderr:\n%s", err, routerErr.String())
+	}
+	if !strings.Contains(routerErr.String(), "drained; routed") {
+		t.Errorf("no drain summary on router stderr:\n%s", routerErr.String())
 	}
 }

@@ -57,6 +57,10 @@ func main() {
 		ixMaxMB      = flag.Int64("index-max-mb", 0, "garbage-collect the index store down to this many megabytes, oldest files first (0 = unbounded)")
 		ixMaxAge     = flag.Duration("index-max-age", 0, "garbage-collect index files unused for longer than this duration (0 = no age bound)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compares to finish")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-compare deadline: a compare still running past this answers 504 and its slot frees when the engine finishes (0 = no deadline)")
+		registerWith = flag.String("register", "", "scoris-router base URL to self-register with at startup (e.g. http://router:7400); retried in the background until it succeeds")
+		advertise    = flag.String("advertise", "", "URL this worker is reachable at, as told to the router (required with -register)")
+		workerName   = flag.String("worker-name", "", "name to register under with -register (default: the -advertise URL)")
 	)
 	flag.Var(&bankSpecs, "bank", "bank to register at startup, as [name=]path.fasta (repeatable); startup banks are registered as long-lived db banks")
 	flag.Parse()
@@ -66,12 +70,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *registerWith != "" && *advertise == "" {
+		fatal(errors.New("-register needs -advertise (the URL the router should reach this worker at)"))
+	}
+
 	cfg := server.Config{
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queue,
 		RequestWorkers: *reqWorkers,
 		CacheEntries:   *cacheEntries,
 		MaxBanks:       *maxBanks,
+		RequestTimeout: *reqTimeout,
 	}
 	if *indexDir != "" {
 		store, err := ixdisk.NewDirStore(*indexDir)
@@ -121,6 +130,39 @@ func main() {
 		errc <- hs.ListenAndServe()
 	}()
 
+	// Fleet self-registration: announce this worker to the router in
+	// the background, retrying until it answers (the router may start
+	// after its workers). Registration is idempotent, so re-announcing
+	// after a router restart is equally safe.
+	if *registerWith != "" {
+		name := *workerName
+		if name == "" {
+			name = *advertise
+		}
+		go func() {
+			body := fmt.Sprintf(`{"name":%q,"url":%q}`, name, *advertise)
+			for {
+				resp, err := http.Post(strings.TrimRight(*registerWith, "/")+"/workers",
+					"application/json", strings.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						fmt.Fprintf(os.Stderr, "scorisd: registered with router %s as %q (%s)\n",
+							*registerWith, name, *advertise)
+						return
+					}
+					err = fmt.Errorf("router answered HTTP %d", resp.StatusCode)
+				}
+				fmt.Fprintf(os.Stderr, "scorisd: router registration: %v (retrying)\n", err)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Second):
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		// Listener failed before any signal (port in use, etc.).
@@ -132,6 +174,11 @@ func main() {
 	// usual way instead of being swallowed by the still-registered
 	// Notify channel.
 	stop()
+	// Flip readiness BEFORE the listener stops: a router probing
+	// /readyz sees "draining" on its next sweep and routes new compares
+	// to the other replicas while this process finishes its in-flight
+	// work.
+	srv.SetDraining(true)
 	fmt.Fprintln(os.Stderr, "scorisd: shutting down: draining in-flight compares")
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

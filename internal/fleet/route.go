@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// handleCompare routes one comparison: rendezvous order over the db
+// bank's content key, retrying across replicas until a worker answers
+// or the attempt budget / deadline runs out. Compares are idempotent
+// and workers answer byte-identically for the same (bank, options), so
+// failover can never corrupt a result — only save it.
+func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading compare request: %v", err)
+		return
+	}
+	var req struct {
+		DB    string `json:"db"`
+		Query string `json:"query"`
+		Self  bool   `json:"self"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad compare request: %v", err)
+		return
+	}
+	if req.DB == "" {
+		httpError(w, http.StatusBadRequest, "compare request needs a db bank name")
+		return
+	}
+	rt.mu.RLock()
+	dbRec := rt.banks[req.DB]
+	var qRec *bankRecord
+	if req.Query != "" {
+		qRec = rt.banks[req.Query]
+	}
+	rt.mu.RUnlock()
+	if dbRec == nil {
+		httpError(w, http.StatusNotFound, "unknown db bank %q (register it with POST /banks on the router)", req.DB)
+		return
+	}
+	if req.Query != "" && qRec == nil {
+		httpError(w, http.StatusNotFound, "unknown query bank %q (register it with POST /banks on the router)", req.Query)
+		return
+	}
+
+	ctx := r.Context()
+	if rt.cfg.CompareTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.CompareTimeout)
+		defer cancel()
+	}
+	rt.routeCompare(ctx, w, body, dbRec, qRec)
+}
+
+// routeCompare walks the db bank's rendezvous ring until some live
+// worker produces a result.
+//
+// The degradation ladder, in order of preference: answer from the
+// owner; answer from the next live replica (retry with backoff);
+// backfill a worker that never saw the bank and answer from it; and
+// only when no live replica remains — or the attempt budget is spent —
+// shed with an honest 503 + Retry-After. A deadline expiry answers 504.
+// The one thing the router never does is hang or queue unboundedly: a
+// fleet that is down says so immediately.
+func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, body []byte, dbRec, qRec *bankRecord) {
+	candidates := rt.rank(dbRec.Key)
+	if len(candidates) == 0 {
+		rt.shedCompare(w, dbRec, "no workers registered")
+		return
+	}
+	var (
+		attempts  int
+		cursor    int
+		lastFail  string
+		backfills = make(map[string]bool)
+	)
+	for attempts < rt.cfg.MaxAttempts {
+		wk := nextUp(candidates, &cursor)
+		if wk == nil {
+			// No live replica at all — shed now, promptly; backoff
+			// would just be a disguised hang.
+			break
+		}
+		if attempts > 0 {
+			rt.retries.Add(1)
+		}
+		attempts++
+		status, header, respBody, err := rt.forward(ctx, wk, body)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				rt.finishCtx(w, ctx)
+				return
+			}
+			// Transport failure: connection refused, reset mid-body,
+			// truncated response, per-attempt deadline. The worker is
+			// presumed dead until a probe says otherwise; the compare
+			// moves on immediately after backoff.
+			rt.noteCompareFailure(wk, err)
+			rt.failovers.Add(1)
+			lastFail = fmt.Sprintf("%s: %v", wk.Name, err)
+			if !rt.backoff(ctx, attempts) {
+				rt.finishCtx(w, ctx)
+				return
+			}
+		case status == http.StatusNotFound && bytes.Contains(respBody, []byte("unknown")):
+			// Failover landed on a worker that never saw the bank(s).
+			// Replay the registrations (idempotent; with a shared store
+			// the worker warms the index from disk) and try it again.
+			if backfills[wk.Name] {
+				lastFail = wk.Name + ": unknown bank even after backfill"
+				continue
+			}
+			backfills[wk.Name] = true
+			if err := rt.backfillBanks(ctx, wk, dbRec, qRec); err != nil {
+				rt.noteCompareFailure(wk, err)
+				lastFail = fmt.Sprintf("%s: backfill: %v", wk.Name, err)
+				continue
+			}
+			rt.backfills.Add(1)
+			cursor-- // retry the freshly backfilled worker first
+		case status == http.StatusTooManyRequests:
+			// The worker is alive but saturated. Back off and try the
+			// next replica (with one worker, the same one again).
+			lastFail = wk.Name + ": at capacity (429)"
+			if !rt.backoff(ctx, attempts) {
+				rt.finishCtx(w, ctx)
+				return
+			}
+		case status >= http.StatusInternalServerError:
+			rt.noteCompareFailure(wk, fmt.Errorf("HTTP %d", status))
+			rt.failovers.Add(1)
+			lastFail = fmt.Sprintf("%s: HTTP %d", wk.Name, status)
+			if !rt.backoff(ctx, attempts) {
+				rt.finishCtx(w, ctx)
+				return
+			}
+		default:
+			// Success — or a client-shaped 4xx (bad options, unknown
+			// engine) that every replica would answer identically:
+			// relay verbatim either way.
+			rt.relay(w, status, header, respBody)
+			if status < http.StatusMultipleChoices {
+				rt.compares.Add(1)
+			}
+			return
+		}
+	}
+	if lastFail == "" {
+		lastFail = "no live replica"
+	}
+	rt.shedCompare(w, dbRec, lastFail)
+}
+
+// nextUp scans the ring from the cursor for the next Up worker, at most
+// one full lap per call. Draining and Down workers are routing-time
+// holes in the ring, not ownership changes.
+func nextUp(candidates []*worker, cursor *int) *worker {
+	for scanned := 0; scanned < len(candidates); scanned++ {
+		wk := candidates[*cursor%len(candidates)]
+		*cursor++
+		if wk.State() == StateUp {
+			return wk
+		}
+	}
+	return nil
+}
+
+// forward sends the compare body to one worker and buffers the full
+// response. Buffering is deliberate: the relay to the client starts
+// only after a complete, length-consistent body is in hand, so a worker
+// dying mid-response (or a chaos-corrupted stream) surfaces here as a
+// retryable error instead of a half-written client response.
+func (rt *Router) forward(ctx context.Context, wk *worker, body []byte) (int, http.Header, []byte, error) {
+	actx := ctx
+	if rt.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, wk.URL+"/compare", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading response: %w", err)
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// relay writes a buffered worker response through to the client.
+func (rt *Router) relay(w http.ResponseWriter, status int, header http.Header, body []byte) {
+	if ct := header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// noteCompareFailure marks a worker Down immediately: a transport
+// failure on the data path is stronger evidence than a missed probe
+// (we were talking to it and it died mid-sentence). The health loop
+// brings it back when /readyz answers again.
+func (rt *Router) noteCompareFailure(wk *worker, err error) {
+	wk.noteFail(err, rt.cfg.FailThreshold, true)
+}
+
+// backoff sleeps the capped, jittered exponential delay for the given
+// attempt number, honoring ctx. Reports false when ctx expired instead.
+func (rt *Router) backoff(ctx context.Context, attempt int) bool {
+	d := rt.cfg.RetryBase << (attempt - 1)
+	if d > rt.cfg.RetryMax || d <= 0 {
+		d = rt.cfg.RetryMax
+	}
+	// Full jitter on the upper half: delay ∈ [d/2, d). Synchronized
+	// retry waves against a recovering worker are the failure mode.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// finishCtx answers a compare whose context expired: 504 when the
+// router-side deadline ran out, silence when the client itself is gone.
+func (rt *Router) finishCtx(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		rt.timedOut.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":     fmt.Sprintf("compare exceeded the router's deadline (%s)", rt.cfg.CompareTimeout),
+			"timed_out": true,
+		})
+	}
+}
+
+// shedCompare is the bottom of the degradation ladder: no replica can
+// serve, so the router answers 503 with Retry-After instead of queueing
+// toward collapse. Capacity degradation is explicit and fast.
+func (rt *Router) shedCompare(w http.ResponseWriter, dbRec *bankRecord, why string) {
+	rt.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":       fmt.Sprintf("no live replica for bank %q (%s); retry", dbRec.Name, why),
+		"retry_after": 1,
+	})
+}
+
+// backfillBanks replays the db (and query) bank registrations onto a
+// worker that reported them unknown.
+func (rt *Router) backfillBanks(ctx context.Context, wk *worker, dbRec, qRec *bankRecord) error {
+	if err := rt.registerOn(ctx, wk, dbRec); err != nil {
+		return err
+	}
+	if qRec != nil && qRec != dbRec {
+		return rt.registerOn(ctx, wk, qRec)
+	}
+	return nil
+}

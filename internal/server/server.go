@@ -39,13 +39,17 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/bank"
@@ -85,6 +89,17 @@ type Config struct {
 	// a slow OOM. Registration past the bound is refused; DELETE
 	// /banks releases spent banks. Non-positive means DefaultMaxBanks.
 	MaxBanks int
+	// RequestTimeout, when positive, is the server-side deadline on
+	// each compare: a request that has not produced its result within
+	// the deadline is answered 504 (with "timed_out" set in the JSON
+	// error body, so clients and the fleet router can tell a server
+	// deadline from other failures). The compare itself cannot be
+	// interrupted mid-engine, so it runs to completion in the
+	// background and only then releases its worker slot — the slot is
+	// never leaked, but a server sized for pathological inputs should
+	// pair this with MaxConcurrent headroom. Zero (the default)
+	// preserves the historical behavior: no server-side deadline.
+	RequestTimeout time.Duration
 	// Store, when non-nil, is attached as the cache's persistent tier:
 	// index builds survive restarts, and banks registered with "db"
 	// are MarkDB'd into it.
@@ -136,9 +151,16 @@ type Server struct {
 	sem      chan struct{}
 	admitted atomic.Int64
 
-	requests atomic.Int64 // HTTP requests seen (all endpoints)
-	compares atomic.Int64 // compares completed successfully
-	rejected atomic.Int64 // compares refused by admission control
+	requests  atomic.Int64 // HTTP requests seen (all endpoints)
+	compares  atomic.Int64 // compares completed successfully
+	rejected  atomic.Int64 // compares refused by admission control
+	abandoned atomic.Int64 // compares whose client vanished before the result
+	timedOut  atomic.Int64 // compares answered 504 by RequestTimeout
+
+	// draining flips /readyz to 503 the moment graceful shutdown
+	// begins, so a fleet router stops routing here before the listener
+	// closes (in-flight and already-accepted compares still complete).
+	draining atomic.Bool
 
 	gcMu   sync.Mutex
 	lastGC *ixdisk.GCStats
@@ -248,22 +270,42 @@ func (s *Server) lookupBank(name string) (*bank.Bank, bool) {
 	return e.bank, true
 }
 
+// errAtCapacity reports an admission refusal (429 to the client).
+var errAtCapacity = errors.New("server at capacity")
+
 // admit implements admission control: a request either gets a worker
 // slot (possibly after waiting in the bounded queue) and a release
-// function, or is refused because the queue is full. Refusal is O(1) —
-// overload answers immediately instead of stacking requests.
-func (s *Server) admit() (release func(), ok bool) {
+// function, or fails — with errAtCapacity when the queue is full
+// (refusal is O(1): overload answers immediately instead of stacking
+// requests), or with ctx.Err() when the request was abandoned or timed
+// out while queued. A queued request that stops waiting frees its queue
+// slot immediately, so an abandoned client never holds capacity it will
+// not use.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	if n := s.admitted.Add(1); n > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
 		s.admitted.Add(-1)
 		s.rejected.Add(1)
-		return nil, false
+		return nil, errAtCapacity
 	}
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.admitted.Add(-1)
+		return nil, ctx.Err()
+	}
 	return func() {
 		<-s.sem
 		s.admitted.Add(-1)
-	}, true
+	}, nil
 }
+
+// SetDraining flips the /readyz readiness signal; scorisd sets it the
+// moment a shutdown signal arrives, before http.Server.Shutdown closes
+// the listener, so routers drain traffic away first.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server has begun graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
@@ -276,7 +318,31 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	}))
+	mux.HandleFunc("/readyz", s.countRequests(s.handleReadyz))
 	return mux
+}
+
+// handleReadyz is the readiness probe: 200 while the server can take
+// new compare traffic, 503 the moment it cannot — because graceful
+// drain has begun, or because the configured store directory is gone
+// (the process still serves from memory, but a router should prefer a
+// replica whose cold tier works). Liveness stays /healthz: a draining
+// server is alive but not ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	if s.store != nil {
+		if _, err := os.Stat(s.store.Dir()); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": fmt.Sprintf("index store: %v", err)})
+			return
+		}
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true})
 }
 
 func (s *Server) countRequests(h http.HandlerFunc) http.HandlerFunc {
@@ -505,22 +571,70 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, ok := s.admit()
-	if !ok {
+	// The request context carries both failure signals admission and
+	// the compare must observe: client disconnect (the router gave up,
+	// or curl was ^C'd) and the server-side RequestTimeout deadline.
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	release, err := s.admit(ctx)
+	if err == errAtCapacity {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			"server at capacity (%d running, %d queued); retry",
 			s.cfg.MaxConcurrent, s.cfg.QueueDepth)
 		return
 	}
-	defer release()
-	if hold := s.testHoldCompare; hold != nil {
-		<-hold
+	if err != nil {
+		// Gave up while queued: the queue slot is already free.
+		s.finishCancelled(w, ctx)
+		return
 	}
 
-	recs, err := s.runCompare(db, query, &req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+	// The compare runs in its own goroutine holding the worker slot,
+	// releasing it only when the engine actually returns — a timed-out
+	// compare cannot be interrupted mid-engine, but its slot is never
+	// leaked. The handler waits for whichever comes first: the result,
+	// or the context giving up on it.
+	type compareOutcome struct {
+		recs []tabular.Record
+		err  error
+	}
+	done := make(chan compareOutcome, 1)
+	go func() {
+		defer release()
+		if hold := s.testHoldCompare; hold != nil {
+			<-hold
+		}
+		// A request cancelled between admission and here (abandoned in
+		// the queue's last moments, or already past its deadline) must
+		// not burn a worker slot on a result nobody reads.
+		if err := ctx.Err(); err != nil {
+			done <- compareOutcome{nil, err}
+			return
+		}
+		recs, err := s.runCompare(db, query, &req)
+		done <- compareOutcome{recs, err}
+	}()
+
+	var recs []tabular.Record
+	select {
+	case out := <-done:
+		if out.err != nil {
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				s.finishCancelled(w, ctx)
+				return
+			}
+			httpError(w, http.StatusBadRequest, "%v", out.err)
+			return
+		}
+		recs = out.recs
+	case <-ctx.Done():
+		s.finishCancelled(w, ctx)
 		return
 	}
 	s.compares.Add(1)
@@ -539,6 +653,24 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// m8: the exact byte stream the scoris/goblastn CLIs write.
 	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 	tabular.Write(w, recs)
+}
+
+// finishCancelled answers a compare that will not produce a result:
+// 504 with a distinct machine-readable body when the server-side
+// RequestTimeout expired, or a silent close (counted as abandoned) when
+// the client itself disconnected — there is nobody left to answer.
+func (s *Server) finishCancelled(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.timedOut.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":     fmt.Sprintf("compare exceeded the server's request timeout (%s)", s.cfg.RequestTimeout),
+			"timed_out": true,
+		})
+		return
+	}
+	s.abandoned.Add(1)
 }
 
 func engineName(e string) string {
@@ -688,11 +820,14 @@ type ServerStats struct {
 	Requests       int64 `json:"requests"`
 	Compares       int64 `json:"compares"`
 	Rejected       int64 `json:"rejected"`
+	Abandoned      int64 `json:"abandoned"`
+	TimedOut       int64 `json:"timed_out"`
 	InFlight       int   `json:"in_flight"`
 	Admitted       int64 `json:"admitted"`
 	MaxConcurrent  int   `json:"max_concurrent"`
 	QueueDepth     int   `json:"queue_depth"`
 	RequestWorkers int   `json:"request_workers"`
+	Draining       bool  `json:"draining"`
 }
 
 // SessionStats count the blastn session pool.
@@ -715,11 +850,14 @@ func (s *Server) StatsSnapshot() Stats {
 			Requests:       s.requests.Load(),
 			Compares:       s.compares.Load(),
 			Rejected:       s.rejected.Load(),
+			Abandoned:      s.abandoned.Load(),
+			TimedOut:       s.timedOut.Load(),
 			InFlight:       len(s.sem),
 			Admitted:       s.admitted.Load(),
 			MaxConcurrent:  s.cfg.MaxConcurrent,
 			QueueDepth:     s.cfg.QueueDepth,
 			RequestWorkers: s.cfg.RequestWorkers,
+			Draining:       s.draining.Load(),
 		},
 		Sessions: SessionStats{
 			Created:   s.sessions.created.Load(),

@@ -38,6 +38,7 @@ import (
 	"repro/internal/blastn"
 	"repro/internal/core"
 	"repro/internal/fasta"
+	"repro/internal/fleet"
 	"repro/internal/gapped"
 	"repro/internal/ixcache"
 	"repro/internal/ixdisk"
@@ -204,6 +205,28 @@ type CompareServerStats = server.Stats
 // NewCompareServer returns a comparison service for cfg (zero value:
 // all defaults, no persistent store).
 func NewCompareServer(cfg CompareServerConfig) *CompareServer { return server.New(cfg) }
+
+// FleetRouter is the bank-affinity coordinator over a pool of
+// CompareServer workers: registrations fan out to each bank's
+// rendezvous owners, compares route to live owners with retry, backoff,
+// and backfill across replicas, and a health loop tracks workers
+// through up/draining/down. Mount Handler() on an http.Server and call
+// Start/Stop around its lifetime; see internal/fleet for the routing
+// and degradation semantics and cmd/scoris-router for the daemon.
+type FleetRouter = fleet.Router
+
+// FleetRouterConfig tunes a FleetRouter: replication factor, probe
+// cadence, retry/backoff shape, and deadlines (zero value: defaults for
+// a small local fleet).
+type FleetRouterConfig = fleet.Config
+
+// FleetStats is the router's /stats payload: its own routing counters,
+// a per-worker breakdown, and fleet-wide totals.
+type FleetStats = fleet.Stats
+
+// NewFleetRouter returns a router for cfg; add workers with AddWorker
+// (or POST /workers) and call Start to begin health probing.
+func NewFleetRouter(cfg FleetRouterConfig) *FleetRouter { return fleet.New(cfg) }
 
 // BlastnSession is the baseline's prepared form: one database bank plus
 // reusable engine state, for searching many query banks against one db.
