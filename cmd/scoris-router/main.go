@@ -22,6 +22,15 @@
 // sheds with 503 + Retry-After immediately — degradation is explicit,
 // not a growing queue. Workers can also join at runtime (scorisd
 // -register, or POST /workers).
+//
+// Streamed compares (Accept: text/x-m8-stream) and batches
+// (POST /compare/batch) relay through the same affinity routing.
+// A streamed relay commits to its worker at the first body byte:
+// before that byte every failure is retryable on the ladder, after it
+// the bytes are with the client and a dying worker can only be sealed
+// honestly — the X-Scoris-Status trailer says anything but "complete",
+// the tear is counted in /stats (torn_relays), and the worker is
+// marked down. See DESIGN.md §10.
 package main
 
 import (
@@ -112,8 +121,8 @@ func main() {
 		fatal(err)
 	}
 	st := rt.StatsSnapshot(context.Background())
-	fmt.Fprintf(os.Stderr, "scoris-router: drained; routed %d compares (%d retries, %d failovers, %d backfills, %d shed)\n",
-		st.Router.Compares, st.Router.Retries, st.Router.Failovers, st.Router.Backfills, st.Router.Shed)
+	fmt.Fprintf(os.Stderr, "scoris-router: drained; routed %d compares (%d retries, %d failovers, %d backfills, %d shed, %d torn relays)\n",
+		st.Router.Compares, st.Router.Retries, st.Router.Failovers, st.Router.Backfills, st.Router.Shed, st.Router.TornRelays)
 }
 
 func fatal(err error) {

@@ -14,6 +14,13 @@
 //	curl -s localhost:7333/compare -d '{"db":"db","query":"q1"}' > run1.m8
 //	curl -s localhost:7333/stats | jq .cache.builds
 //
+// Results also flow instead of accumulating: ask for a streamed compare
+// (Accept: text/x-m8-stream, backpressure bounded by -stream-buffer),
+// batch many query banks under one admission slot (POST /compare/batch),
+// or decouple a long compare from its request entirely (POST /jobs,
+// bounded by -max-jobs). See DESIGN.md §10 for the lifecycle and the
+// X-Scoris-Status trailer contract.
+//
 // Concurrency is bounded: at most -max-concurrent compares run at once,
 // at most -queue more wait, and anything beyond that is rejected with
 // 429 (fast backpressure instead of unbounded queueing). Each request's
@@ -56,6 +63,8 @@ func main() {
 		ixMinSave    = flag.Int("index-min-save", 0, "decline persisting banks smaller than this many bases (0 = no floor; db banks are always persisted)")
 		ixMaxMB      = flag.Int64("index-max-mb", 0, "garbage-collect the index store down to this many megabytes, oldest files first (0 = unbounded)")
 		ixMaxAge     = flag.Duration("index-max-age", 0, "garbage-collect index files unused for longer than this duration (0 = no age bound)")
+		streamBuf    = flag.Int("stream-buffer", 0, "streamed-compare backpressure bound: how many finished query-sequence groups the engine may run ahead of a slow client before it blocks (0 = default 4)")
+		maxJobs      = flag.Int("max-jobs", 0, "async job registry bound: queued, running, and finished-but-unretrieved jobs all count; POST /jobs past this answers 429 (0 = default 32)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compares to finish")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-compare deadline: a compare still running past this answers 504 and its slot frees when the engine finishes (0 = no deadline)")
 		registerWith = flag.String("register", "", "scoris-router base URL to self-register with at startup (e.g. http://router:7400); retried in the background until it succeeds")
@@ -81,6 +90,8 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		MaxBanks:       *maxBanks,
 		RequestTimeout: *reqTimeout,
+		StreamBuffer:   *streamBuf,
+		MaxJobs:        *maxJobs,
 	}
 	if *indexDir != "" {
 		store, err := ixdisk.NewDirStore(*indexDir)

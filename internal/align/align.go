@@ -180,11 +180,20 @@ func Dedup(as []Alignment) []Alignment {
 }
 
 // SortForDisplay orders alignments the way step 4 displays them:
-// ascending E-value, then descending score, then coordinates for
-// determinism.
+// query-major — all of one bank-2 sequence's alignments before the
+// next, in bank order, the way BLAST groups its -m 8 report per query —
+// then ascending E-value, descending score, and coordinates for
+// determinism within each query. Query-major grouping is also what
+// makes the result path streamable: a query sequence's block of output
+// is final the moment its own alignments are, so it can be emitted
+// while later queries are still being extended, and the concatenated
+// stream is byte-identical to the buffered report.
 func SortForDisplay(as []Alignment) {
 	sort.Slice(as, func(i, j int) bool {
 		a, b := &as[i], &as[j]
+		if a.Seq2 != b.Seq2 {
+			return a.Seq2 < b.Seq2
+		}
 		if a.EValue != b.EValue {
 			return a.EValue < b.EValue
 		}
@@ -193,9 +202,6 @@ func SortForDisplay(as []Alignment) {
 		}
 		if a.Seq1 != b.Seq1 {
 			return a.Seq1 < b.Seq1
-		}
-		if a.Seq2 != b.Seq2 {
-			return a.Seq2 < b.Seq2
 		}
 		if a.S1 != b.S1 {
 			return a.S1 < b.S1

@@ -182,19 +182,28 @@ func TestDedupEmptyAndSingle(t *testing.T) {
 }
 
 func TestSortForDisplay(t *testing.T) {
+	// Query-major: all of query 0 before any of query 1, regardless of
+	// e-value; within a query, ascending e-value then descending score.
 	as := []Alignment{
-		{EValue: 1e-3, Score: 50},
-		{EValue: 1e-9, Score: 40},
-		{EValue: 1e-3, Score: 80},
+		{Seq2: 1, EValue: 1e-12, Score: 99},
+		{Seq2: 0, EValue: 1e-3, Score: 50},
+		{Seq2: 0, EValue: 1e-9, Score: 40},
+		{Seq2: 0, EValue: 1e-3, Score: 80},
 	}
 	SortForDisplay(as)
+	if as[3].Seq2 != 1 {
+		t.Errorf("query grouping broken (better e-value must not jump the query order): %+v", as)
+	}
 	if as[0].EValue != 1e-9 {
-		t.Errorf("best e-value not first: %+v", as)
+		t.Errorf("best e-value of query 0 not first: %+v", as)
 	}
 	if as[1].Score != 80 || as[2].Score != 50 {
 		t.Errorf("equal e-values not ordered by score: %+v", as)
 	}
 	if !sort.SliceIsSorted(as, func(i, j int) bool {
+		if as[i].Seq2 != as[j].Seq2 {
+			return as[i].Seq2 < as[j].Seq2
+		}
 		return as[i].EValue < as[j].EValue || (as[i].EValue == as[j].EValue && as[i].Score > as[j].Score)
 	}) {
 		t.Error("not sorted")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bank"
@@ -31,7 +32,10 @@ func BenchmarkStep2_EndToEnd(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		hsps, _ := step2(b1, b2, ix1, ix2, opt)
+		hsps, _, err := step2(context.Background(), b1, b2, ix1, ix2, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(hsps) == 0 {
 			b.Fatal("no HSPs")
 		}

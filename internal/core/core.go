@@ -35,6 +35,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -266,130 +267,40 @@ func CompareWithIndex(p1, p2 *ixcache.Prepared, opt Options) (*Result, error) {
 	}
 	o1, o2 := opt.IndexOptions()
 	if !p1.MatchesOptions(o1) {
-		return nil, fmt.Errorf("core: prepared bank 1 does not match options (want W=%d, sample step %d, dust %v)",
-			o1.W, o1.SampleStep, o1.Dust != nil)
+		return nil, matchErr1(o1)
 	}
 	if !p2.MatchesOptions(o2) {
-		return nil, fmt.Errorf("core: prepared bank 2 does not match options (want W=%d, dust %v)",
-			o2.W, o2.Dust != nil)
+		return nil, matchErr2(o2)
 	}
 	return compareWithIndexes(p1.Bank, p2.Bank, p1.Ix, p2.Ix, opt)
 }
 
-// compareWithIndexes is the shared engine body: steps 2–4 on prebuilt
-// indexes, plus the reverse-complement pass (whose transient bank gets
-// a fresh index — bank 1's index is reused for it).
+func matchErr1(o1 index.Options) error {
+	return fmt.Errorf("core: prepared bank 1 does not match options (want W=%d, sample step %d, dust %v)",
+		o1.W, o1.SampleStep, o1.Dust != nil)
+}
+
+func matchErr2(o2 index.Options) error {
+	return fmt.Errorf("core: prepared bank 2 does not match options (want W=%d, dust %v)",
+		o2.W, o2.Dust != nil)
+}
+
+// compareWithIndexes is the buffered engine body: the stream path with
+// an appending Emit. Implementing the buffered report as a collected
+// stream is what makes "streamed output is byte-identical to buffered
+// output" structural rather than something a test has to chase.
 func compareWithIndexes(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) (*Result, error) {
-	res, err := compareOneStrand(b1, b2, ix1, ix2, opt)
+	var all []align.Alignment
+	res, err := compareStream(context.Background(), b1, b2, ix1, ix2, opt,
+		func(_ int, g []align.Alignment) error {
+			all = append(all, g...)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	if opt.Strand == BothStrands {
-		rc := b2.ReverseComplement()
-		t0 := time.Now()
-		_, o2 := opt.IndexOptions()
-		rcIx := index.Build(rc, o2)
-		rcIndexTime := time.Since(t0)
-		rcRes, err := compareOneStrand(b1, rc, ix1, rcIx, opt)
-		if err != nil {
-			return nil, err
-		}
-		rcRes.Metrics.IndexTime += rcIndexTime
-		// Map reverse-complement coordinates back onto the original
-		// bank-2 records: offsets reflect within each sequence.
-		for i := range rcRes.Alignments {
-			a := &rcRes.Alignments[i]
-			_, hi := rc.SeqBounds(int(a.Seq2))
-			oLo, _ := b2.SeqBounds(int(a.Seq2))
-			s := oLo + (hi - a.E2)
-			e := oLo + (hi - a.S2)
-			a.S2, a.E2 = s, e
-			// The anchor refers to the discarded reverse-complement bank;
-			// clear it so render reports "no anchor" instead of garbage.
-			a.Anchor1, a.Anchor2 = 0, 0
-			a.Minus = true
-		}
-		res.Alignments = append(res.Alignments, rcRes.Alignments...)
-		res.Metrics.add(&rcRes.Metrics)
-		align.SortForDisplay(res.Alignments)
-	}
+	res.Alignments = all
 	return res, nil
-}
-
-func (m *Metrics) add(o *Metrics) {
-	m.IndexTime += o.IndexTime
-	m.Step2Time += o.Step2Time
-	m.Step3Time += o.Step3Time
-	m.Step4Time += o.Step4Time
-	m.HitPairs += o.HitPairs
-	m.Extensions += o.Extensions
-	m.Aborted += o.Aborted
-	m.HSPs += o.HSPs
-	m.DuplicateHSPs += o.DuplicateHSPs
-	m.GappedExtensions += o.GappedExtensions
-	m.SkippedCovered += o.SkippedCovered
-	m.Alignments += o.Alignments
-	m.Subthreshold += o.Subthreshold
-}
-
-func compareOneStrand(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) (*Result, error) {
-	var met Metrics
-
-	// ---- step 1 happened elsewhere: the indexes arrive prebuilt ----
-	met.IndexedBank1 = ix1.Indexed
-	met.IndexedBank2 = ix2.Indexed
-	met.MaskedSeeds = ix1.MaskedOut + ix2.MaskedOut
-
-	// ---- step 2: ordered hit extensions ----
-	t0 := time.Now()
-	hsps, st2 := step2(b1, b2, ix1, ix2, opt)
-	met.HitPairs = st2.hitPairs
-	met.Extensions = st2.stats.Extensions
-	met.Aborted = st2.stats.Aborted
-	if !opt.OrderedRule {
-		before := len(hsps)
-		hsps = hsp.Dedup(hsps)
-		met.DuplicateHSPs = before - len(hsps)
-	}
-	hsp.SortByDiag(hsps)
-	met.HSPs = len(hsps)
-	met.Step2Time = time.Since(t0)
-
-	// ---- step 3: gapped alignments ----
-	t0 = time.Now()
-	ka, err := stats.Ungapped(opt.Scoring.Match, opt.Scoring.Mismatch)
-	if err != nil {
-		return nil, err
-	}
-	var raw []align.Alignment
-	if opt.ParallelStep3 && workerCount(opt) > 1 {
-		raw = step3Parallel(b1, b2, hsps, opt, &met)
-	} else {
-		raw = step3Sequential(b1, b2, hsps, opt, &met)
-	}
-	met.Step3Time = time.Since(t0)
-
-	// ---- step 4: statistics, dedup, sort ----
-	t0 = time.Now()
-	m := b1.TotalBases()
-	deduped := align.Dedup(raw)
-	out := deduped[:0]
-	for i := range deduped {
-		a := deduped[i]
-		n := b2.SeqLen(int(a.Seq2))
-		a.EValue = ka.EValue(int(a.Score), m, n)
-		a.BitScore = ka.BitScore(int(a.Score))
-		if a.EValue <= opt.MaxEValue {
-			out = append(out, a)
-		} else {
-			met.Subthreshold++
-		}
-	}
-	align.SortForDisplay(out)
-	met.Alignments = len(out)
-	met.Step4Time = time.Since(t0)
-
-	return &Result{Alignments: out, Metrics: met}, nil
 }
 
 // step2Result carries a worker's private output.
@@ -420,7 +331,7 @@ func workerCount(opt Options) int {
 // is all the ordered-rule uniqueness proof needs. The A4 ablation
 // (ShuffledSeedOrder) keeps the full 4^W sweep so its fixed permutation
 // of the whole code space is preserved.
-func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, step2Result) {
+func step2(ctx context.Context, b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, step2Result, error) {
 	// The unit of work: either an index into ix1.Codes (directory walk)
 	// or a raw code (shuffled full sweep).
 	domain := len(ix1.Codes)
@@ -433,7 +344,7 @@ func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, st
 		numChunks = domain
 	}
 	if numChunks == 0 {
-		return nil, step2Result{}
+		return nil, step2Result{}, ctx.Err()
 	}
 	chunkSize := (domain + numChunks - 1) / numChunks
 
@@ -492,6 +403,11 @@ func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, st
 			}
 
 			for {
+				// A cancelled stream stops burning cores at the next
+				// chunk claim, not at the end of the code space.
+				if ctx.Err() != nil {
+					return
+				}
 				chunk := int(next.Add(1)) - 1
 				if chunk >= numChunks {
 					return
@@ -520,6 +436,9 @@ func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, st
 		}(wid)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, step2Result{}, err
+	}
 
 	var merged step2Result
 	total := 0
@@ -534,7 +453,7 @@ func step2(b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, st
 		merged.stats.Aborted += results[i].stats.Aborted
 		merged.stats.Emitted += results[i].stats.Emitted
 	}
-	return merged.hsps, merged
+	return merged.hsps, merged, nil
 }
 
 // step3Sequential is the reference step 3: walk diagonal-sorted HSPs,

@@ -416,12 +416,16 @@ func TestValidateRejectsBadOptions(t *testing.T) {
 	}
 }
 
-func TestResultsSortedByEValue(t *testing.T) {
+func TestResultsSortedQueryMajor(t *testing.T) {
 	b1, b2 := testBanks(14, 6, 6, 5, 500)
 	res := mustCompare(t, b1, b2, DefaultOptions())
 	for i := 1; i < len(res.Alignments); i++ {
-		if res.Alignments[i].EValue < res.Alignments[i-1].EValue {
-			t.Fatal("alignments not sorted by E-value")
+		p, a := &res.Alignments[i-1], &res.Alignments[i]
+		if a.Seq2 < p.Seq2 {
+			t.Fatal("alignments not grouped by query sequence")
+		}
+		if a.Seq2 == p.Seq2 && a.EValue < p.EValue {
+			t.Fatal("alignments within a query not sorted by E-value")
 		}
 	}
 }

@@ -46,6 +46,14 @@ const (
 	// Reject answers every /compare with 429 + Retry-After, the
 	// admission-control backpressure shape.
 	Reject
+	// Torn serves /compare's headers and half its body — flushed, so
+	// the bytes reach the wire — then severs the connection without the
+	// stream's sealing trailer ever arriving. Where Corrupt promises a
+	// Content-Length it cannot keep (the buffered-response tear), Torn
+	// is the chunked-stream tear: a relay that has already committed to
+	// this worker must seal the client's stream with a non-"complete"
+	// trailer, never pass the truncation off as a full result.
+	Torn
 )
 
 func (m Mode) String() string {
@@ -60,6 +68,8 @@ func (m Mode) String() string {
 		return "corrupt"
 	case Reject:
 		return "reject"
+	case Torn:
+		return "torn"
 	}
 	return "unknown"
 }
@@ -200,6 +210,33 @@ func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
 		// Push the half-body onto the wire before severing; without the
 		// flush net/http discards its buffer on abort and the client
 		// sees a refused response instead of a torn one.
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case Torn:
+		rec := newRecorder()
+		p.inner.ServeHTTP(rec, r)
+		body := rec.buf.Bytes()
+		for k, vs := range rec.header {
+			if k == "X-Scoris-Status" {
+				// The sealing trailer is exactly what a torn stream
+				// never delivers.
+				continue
+			}
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		if len(body) == 0 {
+			panic(http.ErrAbortHandler)
+		}
+		// No Content-Length: the response goes out chunked, half the
+		// body is flushed onto the wire, and the abort cuts the chunk
+		// stream mid-flight — the reader sees an unexpected EOF, not a
+		// terminated body.
+		w.WriteHeader(rec.code)
+		w.Write(body[:len(body)/2])
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}

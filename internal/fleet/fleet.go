@@ -233,6 +233,7 @@ type Router struct {
 	backfills  atomic.Int64 // banks replayed onto failover targets
 	shed       atomic.Int64 // compares answered 503 (replicas exhausted)
 	timedOut   atomic.Int64 // compares answered 504 (CompareTimeout)
+	tornRelays atomic.Int64 // committed stream relays sealed non-complete
 	probes     atomic.Int64
 	probeFails atomic.Int64
 
@@ -350,6 +351,7 @@ func (rt *Router) owners(key string) []*worker {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compare", rt.count(rt.handleCompare))
+	mux.HandleFunc("/compare/batch", rt.count(rt.handleCompareBatch))
 	mux.HandleFunc("/banks", rt.count(rt.handleBanks))
 	mux.HandleFunc("/workers", rt.count(rt.handleWorkers))
 	mux.HandleFunc("/stats", rt.count(rt.handleStats))

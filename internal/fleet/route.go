@@ -9,8 +9,30 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 )
+
+// Stream relay vocabulary, mirroring the worker's (internal/server):
+// the Accept value that asks for a streamed m8 compare, the response
+// header that marks one, and the trailer that seals it.
+const (
+	streamAccept        = "text/x-m8-stream"
+	streamMarkerHeader  = "X-Scoris-Stream"
+	streamStatusTrailer = "X-Scoris-Status"
+	streamComplete      = "complete"
+)
+
+// routeJob is one routable worker request: the worker path, the client
+// body forwarded verbatim, the banks involved (identity for rendezvous,
+// registration specs for backfill), and the delivery shape.
+type routeJob struct {
+	path    string
+	body    []byte
+	db      *bankRecord
+	queries []*bankRecord
+	stream  bool
+}
 
 // handleCompare routes one comparison: rendezvous order over the db
 // bank's content key, retrying across replicas until a worker answers
@@ -28,9 +50,10 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		DB    string `json:"db"`
-		Query string `json:"query"`
-		Self  bool   `json:"self"`
+		DB     string `json:"db"`
+		Query  string `json:"query"`
+		Self   bool   `json:"self"`
+		Stream bool   `json:"stream"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad compare request: %v", err)
@@ -62,7 +85,74 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, rt.cfg.CompareTimeout)
 		defer cancel()
 	}
-	rt.routeCompare(ctx, w, body, dbRec, qRec)
+	job := routeJob{
+		path:   "/compare",
+		body:   body,
+		db:     dbRec,
+		stream: req.Stream || strings.Contains(r.Header.Get("Accept"), streamAccept),
+	}
+	if qRec != nil {
+		job.queries = []*bankRecord{qRec}
+	}
+	rt.routeCompare(ctx, w, job)
+}
+
+// handleCompareBatch routes a batched comparison (one db, many query
+// banks) to a single worker, which serves the whole set under one
+// admission slot. The batch is buffered end to end — its failure story
+// is the plain compare's (full-response failover), routed by the db
+// bank like any other compare.
+func (rt *Router) handleCompareBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading batch request: %v", err)
+		return
+	}
+	var req struct {
+		DB      string   `json:"db"`
+		Queries []string `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if req.DB == "" || len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch request needs a db bank and a non-empty queries list")
+		return
+	}
+	rt.mu.RLock()
+	dbRec := rt.banks[req.DB]
+	qRecs := make([]*bankRecord, 0, len(req.Queries))
+	missing := ""
+	for _, name := range req.Queries {
+		rec := rt.banks[name]
+		if rec == nil {
+			missing = name
+			break
+		}
+		qRecs = append(qRecs, rec)
+	}
+	rt.mu.RUnlock()
+	if dbRec == nil {
+		httpError(w, http.StatusNotFound, "unknown db bank %q (register it with POST /banks on the router)", req.DB)
+		return
+	}
+	if missing != "" {
+		httpError(w, http.StatusNotFound, "unknown query bank %q (register it with POST /banks on the router)", missing)
+		return
+	}
+
+	ctx := r.Context()
+	if rt.cfg.CompareTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.CompareTimeout)
+		defer cancel()
+	}
+	rt.routeCompare(ctx, w, routeJob{path: "/compare/batch", body: body, db: dbRec, queries: qRecs})
 }
 
 // routeCompare walks the db bank's rendezvous ring until some live
@@ -75,10 +165,17 @@ func (rt *Router) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shed with an honest 503 + Retry-After. A deadline expiry answers 504.
 // The one thing the router never does is hang or queue unboundedly: a
 // fleet that is down says so immediately.
-func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, body []byte, dbRec, qRec *bankRecord) {
-	candidates := rt.rank(dbRec.Key)
+//
+// Streamed jobs walk the same ladder with one extra rule: an attempt is
+// retryable only until its first relayed body byte. Once bytes have
+// reached the client the router is committed to that worker, and an
+// upstream death seals the client's stream with a torn trailer instead
+// of failing over (a second worker's stream could not be spliced onto a
+// half-written one).
+func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, job routeJob) {
+	candidates := rt.rank(job.db.Key)
 	if len(candidates) == 0 {
-		rt.shedCompare(w, dbRec, "no workers registered")
+		rt.shedCompare(w, job.db, "no workers registered")
 		return
 	}
 	var (
@@ -98,7 +195,23 @@ func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, body 
 			rt.retries.Add(1)
 		}
 		attempts++
-		status, header, respBody, err := rt.forward(ctx, wk, body)
+		var (
+			status   int
+			header   http.Header
+			respBody []byte
+			err      error
+		)
+		if job.stream {
+			var done bool
+			done, status, header, respBody, err = rt.forwardStream(ctx, w, wk, job)
+			if done {
+				// Bytes were relayed (or the stream completed): the
+				// response is already written, trailer included.
+				return
+			}
+		} else {
+			status, header, respBody, err = rt.forward(ctx, wk, job.path, job.body)
+		}
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -125,7 +238,7 @@ func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, body 
 				continue
 			}
 			backfills[wk.Name] = true
-			if err := rt.backfillBanks(ctx, wk, dbRec, qRec); err != nil {
+			if err := rt.backfillBanks(ctx, wk, job.db, job.queries); err != nil {
 				rt.noteCompareFailure(wk, err)
 				lastFail = fmt.Sprintf("%s: backfill: %v", wk.Name, err)
 				continue
@@ -162,7 +275,7 @@ func (rt *Router) routeCompare(ctx context.Context, w http.ResponseWriter, body 
 	if lastFail == "" {
 		lastFail = "no live replica"
 	}
-	rt.shedCompare(w, dbRec, lastFail)
+	rt.shedCompare(w, job.db, lastFail)
 }
 
 // nextUp scans the ring from the cursor for the next Up worker, at most
@@ -179,19 +292,19 @@ func nextUp(candidates []*worker, cursor *int) *worker {
 	return nil
 }
 
-// forward sends the compare body to one worker and buffers the full
+// forward sends a buffered request to one worker and buffers the full
 // response. Buffering is deliberate: the relay to the client starts
 // only after a complete, length-consistent body is in hand, so a worker
 // dying mid-response (or a chaos-corrupted stream) surfaces here as a
 // retryable error instead of a half-written client response.
-func (rt *Router) forward(ctx context.Context, wk *worker, body []byte) (int, http.Header, []byte, error) {
+func (rt *Router) forward(ctx context.Context, wk *worker, path string, body []byte) (int, http.Header, []byte, error) {
 	actx := ctx
 	if rt.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, wk.URL+"/compare", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, wk.URL+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -206,6 +319,110 @@ func (rt *Router) forward(ctx context.Context, wk *worker, body []byte) (int, ht
 		return 0, nil, nil, fmt.Errorf("reading response: %w", err)
 	}
 	return resp.StatusCode, resp.Header, b, nil
+}
+
+// forwardStream forwards a streamed compare to one worker and, once the
+// worker's stream yields its first body byte, relays it to the client
+// chunk by chunk — no full-response buffering, so the client's first
+// byte arrives while the worker's engine is still running.
+//
+// The commitment point is that first body byte. Before it, the attempt
+// is abortable like any buffered one: transport failures return to the
+// retry ladder (done=false, err set) and non-stream responses — 404s to
+// backfill, 429s, 5xxes, client-shaped 4xxes — return buffered for the
+// ladder to judge. After it, done=true: the response is written here,
+// and an upstream death mid-relay seals the stream with an "error"
+// trailer (and marks the worker Down) rather than failing over. A
+// stream that reaches a clean upstream EOF relays the worker's own
+// X-Scoris-Status trailer; an upstream that ends without one is torn by
+// definition and sealed "error" — silence never impersonates success.
+//
+// The per-attempt deadline bounds only the time to the commitment
+// point; a committed relay runs as long as the compare does.
+func (rt *Router) forwardStream(ctx context.Context, w http.ResponseWriter, wk *worker, job routeJob) (done bool, status int, header http.Header, respBody []byte, err error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var attemptTimer *time.Timer
+	if rt.cfg.AttemptTimeout > 0 {
+		attemptTimer = time.AfterFunc(rt.cfg.AttemptTimeout, cancel)
+		defer attemptTimer.Stop()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, wk.URL+job.path, bytes.NewReader(job.body))
+	if err != nil {
+		return false, 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", streamAccept)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, 0, nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(streamMarkerHeader) != "m8" {
+		// Not a stream (error status, or a worker that answered
+		// buffered): buffer it and let the retry ladder judge.
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return false, 0, nil, nil, fmt.Errorf("reading response: %w", rerr)
+		}
+		return false, resp.StatusCode, resp.Header, b, nil
+	}
+	defer resp.Body.Close()
+
+	// Pull the first body byte before touching the client response:
+	// a worker that dies between its headers and its first chunk is
+	// still a failover, not a torn stream.
+	buf := make([]byte, 32<<10)
+	n, rerr := resp.Body.Read(buf)
+	if n == 0 && rerr != nil && !errors.Is(rerr, io.EOF) {
+		return false, 0, nil, nil, fmt.Errorf("stream died before first byte: %w", rerr)
+	}
+	if attemptTimer != nil {
+		attemptTimer.Stop() // committed: the relay outlives the attempt budget
+	}
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set(streamMarkerHeader, "m8")
+	h.Set("Trailer", streamStatusTrailer)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	torn := false
+	for {
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				// The client is gone; the deferred cancel tears the
+				// upstream down. Nothing left to say to anyone.
+				return true, http.StatusOK, nil, nil, nil
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			torn = !errors.Is(rerr, io.EOF)
+			break
+		}
+		n, rerr = resp.Body.Read(buf)
+	}
+	statusTr := resp.Trailer.Get(streamStatusTrailer)
+	if torn || statusTr == "" {
+		statusTr = "error"
+	}
+	w.Header().Set(streamStatusTrailer, statusTr)
+	if statusTr == streamComplete {
+		rt.compares.Add(1)
+	} else {
+		rt.tornRelays.Add(1)
+	}
+	if torn {
+		// The worker died mid-sentence on the data path — same evidence
+		// the buffered path acts on, same consequence.
+		rt.noteCompareFailure(wk, fmt.Errorf("stream torn mid-relay: %v", rerr))
+	}
+	return true, http.StatusOK, nil, nil, nil
 }
 
 // relay writes a buffered worker response through to the client.
@@ -273,12 +490,17 @@ func (rt *Router) shedCompare(w http.ResponseWriter, dbRec *bankRecord, why stri
 
 // backfillBanks replays the db (and query) bank registrations onto a
 // worker that reported them unknown.
-func (rt *Router) backfillBanks(ctx context.Context, wk *worker, dbRec, qRec *bankRecord) error {
+func (rt *Router) backfillBanks(ctx context.Context, wk *worker, dbRec *bankRecord, qRecs []*bankRecord) error {
 	if err := rt.registerOn(ctx, wk, dbRec); err != nil {
 		return err
 	}
-	if qRec != nil && qRec != dbRec {
-		return rt.registerOn(ctx, wk, qRec)
+	for _, qRec := range qRecs {
+		if qRec == dbRec {
+			continue
+		}
+		if err := rt.registerOn(ctx, wk, qRec); err != nil {
+			return err
+		}
 	}
 	return nil
 }

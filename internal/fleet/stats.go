@@ -19,6 +19,7 @@ type RouterStats struct {
 	Backfills   int64 `json:"backfills"`
 	Shed        int64 `json:"shed"`
 	TimedOut    int64 `json:"timed_out"`
+	TornRelays  int64 `json:"torn_relays"`
 	Probes      int64 `json:"probes"`
 	ProbeFails  int64 `json:"probe_failures"`
 	Banks       int   `json:"banks"`
@@ -78,6 +79,7 @@ func (rt *Router) StatsSnapshot(ctx context.Context) Stats {
 			Backfills:   rt.backfills.Load(),
 			Shed:        rt.shed.Load(),
 			TimedOut:    rt.timedOut.Load(),
+			TornRelays:  rt.tornRelays.Load(),
 			Probes:      rt.probes.Load(),
 			ProbeFails:  rt.probeFails.Load(),
 			Banks:       nBanks,

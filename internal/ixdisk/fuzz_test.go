@@ -1,0 +1,121 @@
+package ixdisk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+	"repro/internal/seed"
+)
+
+// fuzzSeedFile builds the canonical fuzz fixture: a small bank, its
+// built index, and the valid .orix v2 bytes Save produces for it. Every
+// fuzz iteration validates arbitrary mutations of this frame against
+// the same (bank, options) identity the seed was saved under.
+func fuzzSeedFile(tb testing.TB) ([]byte, *bank.Bank, index.Options) {
+	tb.Helper()
+	b := genBank(tb, "fz", 1024)
+	opts := index.Options{W: 8}
+	path := filepath.Join(tb.TempDir(), "seed"+FileExt)
+	if err := Save(path, ixcache.Prepare(b, opts)); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data, b, opts
+}
+
+// addFrameSeeds seeds the corpus with the valid frame and the mutation
+// classes the reader's validation ladder distinguishes: truncations at
+// every boundary the header declares, bit-flips in the magic, version,
+// section-length table, body, and trailing checksum.
+func addFrameSeeds(f *testing.F, valid []byte) {
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:headerSize/2])
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0))
+	for _, off := range []int{0, 8, 12, 88, headerSize + 1, len(valid) - 1} {
+		if off < len(valid) {
+			mut := bytes.Clone(valid)
+			mut[off] ^= 0x40
+			f.Add(mut)
+		}
+	}
+}
+
+// loadInvariants asserts what a successful load must always deliver: a
+// prepared index over the requesting bank whose occurrence lists are
+// addressable — the properties mid-parse corruption would break first.
+func loadInvariants(t *testing.T, p *ixcache.Prepared, b *bank.Bank, opts index.Options) {
+	t.Helper()
+	if p == nil || p.Ix == nil || p.Bank != b {
+		t.Fatal("load succeeded but returned an unusable Prepared")
+	}
+	if !p.MatchesOptions(opts) {
+		t.Fatal("load succeeded with a Prepared that fails MatchesOptions")
+	}
+	parts := p.Ix.Parts()
+	if parts.Indexed != len(parts.Pos) {
+		t.Fatalf("load succeeded with %d positions for an Indexed count of %d", len(parts.Pos), parts.Indexed)
+	}
+	total := 0
+	for _, c := range parts.Codes {
+		occ := p.Ix.Occ(seed.Code(c))
+		if len(occ) == 0 {
+			t.Fatalf("load succeeded but occupied code %d has no occurrences", c)
+		}
+		total += len(occ)
+	}
+	if total != len(parts.Pos) {
+		t.Fatalf("load succeeded with %d positions across codes, %d in the flat array", total, len(parts.Pos))
+	}
+}
+
+// FuzzLoad feeds arbitrary bytes to the copying .orix reader. Any input
+// may be rejected with an error; none may panic, and an accepted input
+// must yield a structurally sound index.
+func FuzzLoad(f *testing.F) {
+	valid, b, opts := fuzzSeedFile(f)
+	addFrameSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f"+FileExt)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		p, err := Load(path, b, opts)
+		if err != nil {
+			return
+		}
+		loadInvariants(t, p, b, opts)
+	})
+}
+
+// FuzzLoadMapped is FuzzLoad for the aliasing reader: the same
+// no-panic/sound-on-success contract, plus the mapping must close
+// cleanly whatever the parse did.
+func FuzzLoadMapped(f *testing.F) {
+	valid, b, opts := fuzzSeedFile(f)
+	addFrameSeeds(f, valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f"+FileExt)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		p, m, err := LoadMapped(path, b, opts)
+		if err != nil {
+			return
+		}
+		loadInvariants(t, p, b, opts)
+		if err := m.Close(); err != nil {
+			t.Fatalf("closing mapping after successful load: %v", err)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// POST /compare/batch: many small query banks against one prepared db
+// bank under a single admission slot — the read-mapping-shaped inverse
+// of the streamed path. Instead of N requests each paying admission,
+// bank resolution, and (for blastn) a session checkout, a batch admits
+// once, resolves once, checks one session out for its whole duration,
+// and sweeps the already-prepared db index once per query. The m8
+// response is the concatenation of the per-query compares in request
+// order, byte-identical to running each query through POST /compare.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/blat"
+	"repro/internal/core"
+	"repro/internal/tabular"
+)
+
+// batchRequest is a set of query banks against one db bank. The
+// embedded compareRequest carries the engine/format/option fields;
+// its Query/Self/Stream fields must stay unset.
+type batchRequest struct {
+	compareRequest
+	Queries []string `json:"queries"`
+}
+
+// batchResult is one query's slice of a JSON-format batch response.
+type batchResult struct {
+	Query      string           `json:"query"`
+	Alignments []tabular.Record `json:"alignments"`
+}
+
+// batchResponse is the JSON format of a batch result.
+type batchResponse struct {
+	Engine  string        `json:"engine"`
+	DB      string        `json:"db"`
+	Results []batchResult `json:"results"`
+}
+
+// parseBatchRequest parses and structurally validates a POST
+// /compare/batch body.
+func parseBatchRequest(body []byte) (batchRequest, error) {
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad batch request: %v", err)
+	}
+	if req.DB == "" {
+		return req, errors.New("batch request needs a db bank name")
+	}
+	if len(req.Queries) == 0 {
+		return req, errors.New("batch request needs at least one query bank name")
+	}
+	if req.Query != "" {
+		return req, errors.New(`batch requests name queries in "queries", not "query"`)
+	}
+	if req.Self {
+		return req, errors.New("self-comparison is a single-compare mode")
+	}
+	if req.Stream {
+		return req, errors.New("batch responses are not streamed (stream single compares instead)")
+	}
+	switch req.Format {
+	case "", "m8", "json":
+	default:
+		return req, fmt.Errorf("unknown format %q (use m8 or json)", req.Format)
+	}
+	return req, nil
+}
+
+func (s *Server) handleCompareBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading batch request: %v", err)
+		return
+	}
+	req, err := parseBatchRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	db, ok := s.lookupBank(req.DB)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown db bank %q (register it with POST /banks)", req.DB)
+		return
+	}
+	queries := make([]*bank.Bank, len(req.Queries))
+	for i, name := range req.Queries {
+		if queries[i], ok = s.lookupBank(name); !ok {
+			httpError(w, http.StatusNotFound, "unknown query bank %q (register it with POST /banks)", name)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// One admission slot covers the whole batch: that is the point.
+	release, err := s.admit(ctx)
+	if err == errAtCapacity {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"server at capacity (%d running, %d queued); retry",
+			s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+		return
+	}
+	if err != nil {
+		s.finishCancelled(w, ctx)
+		return
+	}
+
+	type batchOutcome struct {
+		aligns [][]align.Alignment
+		err    error
+	}
+	done := make(chan batchOutcome, 1)
+	go func() {
+		defer release()
+		if hold := s.testHoldCompare; hold != nil {
+			<-hold
+		}
+		if err := ctx.Err(); err != nil {
+			done <- batchOutcome{nil, err}
+			return
+		}
+		aligns, err := s.runBatch(ctx, db, queries, &req.compareRequest)
+		done <- batchOutcome{aligns, err}
+	}()
+
+	var aligns [][]align.Alignment
+	select {
+	case out := <-done:
+		if out.err != nil {
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				s.finishCancelled(w, ctx)
+				return
+			}
+			httpError(w, http.StatusBadRequest, "%v", out.err)
+			return
+		}
+		aligns = out.aligns
+	case <-ctx.Done():
+		s.finishCancelled(w, ctx)
+		return
+	}
+	s.batches.Add(1)
+	s.compares.Add(int64(len(queries)))
+
+	if req.Format == "json" {
+		resp := batchResponse{Engine: engineName(req.Engine), DB: req.DB}
+		for i := range aligns {
+			recs := toRecords(aligns[i], db, queries[i])
+			if recs == nil {
+				recs = []tabular.Record{}
+			}
+			resp.Results = append(resp.Results, batchResult{Query: req.Queries[i], Alignments: recs})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	var buf []byte
+	for i := range aligns {
+		buf = tabular.AppendGroup(buf[:0], aligns[i], db, queries[i])
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// runBatch runs every query against db on one engine instantiation:
+// the db index is prepared (or cache-fetched) once, and the blastn
+// engine holds a single session checkout across all queries.
+func (s *Server) runBatch(ctx context.Context, db *bank.Bank, queries []*bank.Bank, req *compareRequest) ([][]align.Alignment, error) {
+	out := make([][]align.Alignment, len(queries))
+	switch engineName(req.Engine) {
+	case "oris":
+		opt := s.orisOptions(req)
+		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p1, p2, err := core.Prepare(s.cache, db, q, opt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.CompareWithIndex(p1, p2, opt)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Alignments
+		}
+	case "blat":
+		opt, err := blatOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		pdb := s.cache.Get(db, opt.IndexOptions())
+		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := blat.CompareWithIndex(pdb, q, opt)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Alignments
+		}
+	case "blastn":
+		opt, err := blastnOptions(req)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := s.sessions.checkout(db, opt)
+		if err != nil {
+			return nil, err
+		}
+		defer s.sessions.checkin(db, opt, sess)
+		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := sess.Compare(q)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Alignments
+		}
+	default:
+		return nil, fmt.Errorf("unknown engine %q (use oris, blat, or blastn)", req.Engine)
+	}
+	return out, nil
+}

@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +101,18 @@ type Config struct {
 	// pair this with MaxConcurrent headroom. Zero (the default)
 	// preserves the historical behavior: no server-side deadline.
 	RequestTimeout time.Duration
+	// StreamBuffer bounds the per-request group buffer of a streamed
+	// compare: the engine may run at most this many finished query
+	// sequences ahead of what the client has consumed before its next
+	// emit blocks — the backpressure that keeps a slow reader from
+	// forcing the server to buffer the whole result after all.
+	// Non-positive means DefaultStreamBuffer.
+	StreamBuffer int
+	// MaxJobs bounds the async job registry: queued, running, and
+	// finished-but-unretrieved jobs all count (a finished job holds its
+	// result bytes until DELETE). POST /jobs past the bound is refused
+	// with 429. Non-positive means DefaultMaxJobs.
+	MaxJobs int
 	// Store, when non-nil, is attached as the cache's persistent tier:
 	// index builds survive restarts, and banks registered with "db"
 	// are MarkDB'd into it.
@@ -128,11 +141,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxBanks <= 0 {
 		c.MaxBanks = DefaultMaxBanks
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = DefaultStreamBuffer
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
 	return c
 }
 
 // DefaultMaxBanks is the registry bound when Config.MaxBanks is unset.
 const DefaultMaxBanks = 1024
+
+// DefaultStreamBuffer is the per-request streamed-group buffer when
+// Config.StreamBuffer is unset: small enough that a stalled client
+// stalls the engine within a few query sequences, large enough to ride
+// over flush latency.
+const DefaultStreamBuffer = 4
+
+// DefaultMaxJobs is the async job registry bound when Config.MaxJobs is
+// unset.
+const DefaultMaxJobs = 32
 
 // Server is the comparison service. Create with New, mount Handler on
 // an http.Server. All methods are safe for concurrent use.
@@ -151,11 +180,22 @@ type Server struct {
 	sem      chan struct{}
 	admitted atomic.Int64
 
-	requests  atomic.Int64 // HTTP requests seen (all endpoints)
-	compares  atomic.Int64 // compares completed successfully
-	rejected  atomic.Int64 // compares refused by admission control
-	abandoned atomic.Int64 // compares whose client vanished before the result
-	timedOut  atomic.Int64 // compares answered 504 by RequestTimeout
+	requests   atomic.Int64 // HTTP requests seen (all endpoints)
+	compares   atomic.Int64 // compares completed successfully
+	batches    atomic.Int64 // batch requests completed successfully
+	admissions atomic.Int64 // cumulative successful admissions (slots granted)
+	rejected   atomic.Int64 // compares refused by admission control
+	abandoned  atomic.Int64 // compares whose client vanished before the result
+	timedOut   atomic.Int64 // compares answered 504 by RequestTimeout
+
+	// Async job registry (POST /jobs); see jobs.go.
+	jobMu         sync.Mutex
+	jobs          map[string]*job
+	jobSeq        atomic.Int64
+	jobsCreated   atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
 
 	// draining flips /readyz to 503 the moment graceful shutdown
 	// begins, so a fleet router stops routing here before the listener
@@ -170,6 +210,12 @@ type Server struct {
 	// a compare mid-flight deterministically (admission overflow and
 	// graceful-drain tests). Set before the server handles traffic.
 	testHoldCompare chan struct{}
+
+	// testStreamGate, when non-nil, is received before every streamed
+	// group emit (racing the request context) — the hook that lets
+	// tests pace a stream group by group and park the engine mid-stream
+	// deterministically. Set before the server handles traffic.
+	testStreamGate chan struct{}
 }
 
 type bankEntry struct {
@@ -195,6 +241,7 @@ func New(cfg Config) *Server {
 		store:    cfg.Store,
 		sessions: newSessionPool(cfg.MaxIdleSessions),
 		banks:    make(map[string]*bankEntry),
+		jobs:     make(map[string]*job),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 	}
 }
@@ -293,6 +340,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		s.admitted.Add(-1)
 		return nil, ctx.Err()
 	}
+	s.admissions.Add(1)
 	return func() {
 		<-s.sem
 		s.admitted.Add(-1)
@@ -312,6 +360,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/banks", s.countRequests(s.handleBanks))
 	mux.HandleFunc("/compare", s.countRequests(s.handleCompare))
+	mux.HandleFunc("/compare/batch", s.countRequests(s.handleCompareBatch))
+	mux.HandleFunc("/jobs", s.countRequests(s.handleJobs))
+	mux.HandleFunc("/jobs/", s.countRequests(s.handleJob))
 	mux.HandleFunc("/stats", s.countRequests(s.handleStats))
 	mux.HandleFunc("/gc", s.countRequests(s.handleGC))
 	mux.HandleFunc("/healthz", s.countRequests(func(w http.ResponseWriter, r *http.Request) {
@@ -395,26 +446,27 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(infos)
 	case http.MethodPost:
-		var req bankRequest
-		var b *bank.Bank
-		// The body is either a JSON bankRequest or raw FASTA text;
-		// dispatch on the first byte ('>' opens a FASTA header, '{' a
-		// JSON object) rather than the Content-Type header, so plain
-		// `curl -d '{...}'` works without header ceremony.
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "reading bank request: %v", err)
 			return
 		}
-		if !bytes.HasPrefix(bytes.TrimLeft(body, " \t\r\n"), []byte(">")) {
-			if err := json.Unmarshal(body, &req); err != nil {
-				httpError(w, http.StatusBadRequest, "bad bank request: %v", err)
+		req, recs, isFasta, err := parseBankBody(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var b *bank.Bank
+		if isFasta {
+			// Raw FASTA body: ?name= is required, ?db=1 optional.
+			req.Name = r.URL.Query().Get("name")
+			req.DB = r.URL.Query().Get("db") != "" && r.URL.Query().Get("db") != "0"
+			if req.Name == "" {
+				httpError(w, http.StatusBadRequest, "FASTA-body registration needs a ?name= parameter")
 				return
 			}
-			if req.Path == "" {
-				httpError(w, http.StatusBadRequest, "bank request needs a path (or POST FASTA text with a ?name= parameter)")
-				return
-			}
+			b = bank.New(req.Name, recs)
+		} else {
 			if req.Name == "" {
 				req.Name = req.Path
 			}
@@ -423,24 +475,6 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, "loading bank: %v", err)
 				return
 			}
-		} else {
-			// Raw FASTA body: ?name= is required, ?db=1 optional.
-			req.Name = r.URL.Query().Get("name")
-			req.DB = r.URL.Query().Get("db") != "" && r.URL.Query().Get("db") != "0"
-			if req.Name == "" {
-				httpError(w, http.StatusBadRequest, "FASTA-body registration needs a ?name= parameter")
-				return
-			}
-			recs, err := fasta.ParseAll(body)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "parsing FASTA body: %v", err)
-				return
-			}
-			if len(recs) == 0 {
-				httpError(w, http.StatusBadRequest, "FASTA body holds no sequences")
-				return
-			}
-			b = bank.New(req.Name, recs)
 		}
 		if err := s.RegisterBank(req.Name, b, req.DB); err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
@@ -470,6 +504,33 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "use GET, POST, or DELETE")
 	}
+}
+
+// parseBankBody dispatches a POST /banks body: it is either a JSON
+// bankRequest or raw FASTA text, told apart by the first non-blank byte
+// ('>' opens a FASTA header, '{' a JSON object) rather than the
+// Content-Type header, so plain `curl -d '{...}'` works without header
+// ceremony. A FASTA body returns its parsed records (isFasta true); a
+// JSON body returns the request with Path set — the caller loads the
+// file. Shared with FuzzParseBankBody.
+func parseBankBody(body []byte) (req bankRequest, recs []*fasta.Record, isFasta bool, err error) {
+	if !bytes.HasPrefix(bytes.TrimLeft(body, " \t\r\n"), []byte(">")) {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, nil, false, fmt.Errorf("bad bank request: %v", err)
+		}
+		if req.Path == "" {
+			return req, nil, false, errors.New("bank request needs a path (or POST FASTA text with a ?name= parameter)")
+		}
+		return req, nil, false, nil
+	}
+	recs, err = fasta.ParseAll(body)
+	if err != nil {
+		return req, nil, true, fmt.Errorf("parsing FASTA body: %v", err)
+	}
+	if len(recs) == 0 {
+		return req, nil, true, errors.New("FASTA body holds no sequences")
+	}
+	return req, recs, true, nil
 }
 
 // bankInfoFor snapshots the registry entry for name.
@@ -502,6 +563,11 @@ type compareRequest struct {
 	// Self compares the db bank against itself, reporting the upper
 	// triangle only (oris engine; Query must be empty or equal DB).
 	Self bool `json:"self"`
+	// Stream requests chunked m8 delivery: each query sequence's
+	// alignments are written (and flushed) as they finish, instead of
+	// after the whole compare. Equivalent to sending
+	// "Accept: text/x-m8-stream". m8 format only.
+	Stream bool `json:"stream"`
 
 	W           *int     `json:"w"`
 	MaxEValue   *float64 `json:"max_evalue"`
@@ -533,25 +599,51 @@ func (s *Server) clampWorkers(req *int) int {
 	return *req
 }
 
+// parseCompareRequest parses a POST /compare JSON body and applies the
+// structural validation that needs no registry: self/query exclusivity,
+// known format, stream×format compatibility. Shared with
+// FuzzParseCompareRequest.
+func parseCompareRequest(body []byte, accept string) (compareRequest, error) {
+	var req compareRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad compare request: %v", err)
+	}
+	if strings.Contains(accept, m8StreamAccept) {
+		req.Stream = true
+	}
+	if req.Self {
+		if req.Query != "" && req.Query != req.DB {
+			return req, fmt.Errorf("self-comparison takes no separate query bank (query %q given)", req.Query)
+		}
+		req.Query = req.DB
+	}
+	if req.DB == "" || req.Query == "" {
+		return req, errors.New("compare request needs db and query bank names")
+	}
+	switch req.Format {
+	case "", "m8", "json":
+	default:
+		return req, fmt.Errorf("unknown format %q (use m8 or json)", req.Format)
+	}
+	if req.Stream && req.Format == "json" {
+		return req, errors.New("streamed delivery is m8-only (drop format json or stream)")
+	}
+	return req, nil
+}
+
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	var req compareRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad compare request: %v", err)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading compare request: %v", err)
 		return
 	}
-	if req.Self {
-		if req.Query != "" && req.Query != req.DB {
-			httpError(w, http.StatusBadRequest, "self-comparison takes no separate query bank (query %q given)", req.Query)
-			return
-		}
-		req.Query = req.DB
-	}
-	if req.DB == "" || req.Query == "" {
-		httpError(w, http.StatusBadRequest, "compare request needs db and query bank names")
+	req, err := parseCompareRequest(body, r.Header.Get("Accept"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	db, ok := s.lookupBank(req.DB)
@@ -562,12 +654,6 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	query, ok := s.lookupBank(req.Query)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown query bank %q (register it with POST /banks)", req.Query)
-		return
-	}
-	switch req.Format {
-	case "", "m8", "json":
-	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q (use m8 or json)", req.Format)
 		return
 	}
 
@@ -592,6 +678,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Gave up while queued: the queue slot is already free.
 		s.finishCancelled(w, ctx)
+		return
+	}
+
+	if req.Stream {
+		s.streamCompare(ctx, w, db, query, &req, release)
 		return
 	}
 
@@ -662,15 +753,21 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) finishCancelled(w http.ResponseWriter, ctx context.Context) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		s.timedOut.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusGatewayTimeout)
-		json.NewEncoder(w).Encode(map[string]any{
-			"error":     fmt.Sprintf("compare exceeded the server's request timeout (%s)", s.cfg.RequestTimeout),
-			"timed_out": true,
-		})
+		writeTimeoutBody(w, s.cfg.RequestTimeout)
 		return
 	}
 	s.abandoned.Add(1)
+}
+
+// writeTimeoutBody answers 504 with the machine-readable timed_out
+// marker clients and the fleet router key on.
+func writeTimeoutBody(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusGatewayTimeout)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":     fmt.Sprintf("compare exceeded the server's request timeout (%s)", d),
+		"timed_out": true,
+	})
 }
 
 func engineName(e string) string {
@@ -680,23 +777,69 @@ func engineName(e string) string {
 	return e
 }
 
-// runCompare dispatches to the selected engine and converts the
-// alignments with the same tabular conversion the CLIs use, so the m8
-// bytes match the CLI byte for byte.
-func (s *Server) runCompare(db, query *bank.Bank, req *compareRequest) ([]tabular.Record, error) {
+// orisOptions builds the core.Options a request asks for, with the
+// server's worker clamp applied.
+func (s *Server) orisOptions(req *compareRequest) core.Options {
+	opt := core.DefaultOptions()
+	applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+	if req.BothStrands != nil && *req.BothStrands {
+		opt.Strand = core.BothStrands
+	}
+	if req.Asymmetric != nil && *req.Asymmetric {
+		opt.W = 10
+		opt.Asymmetric = true
+	}
+	opt.Workers = s.clampWorkers(req.Workers)
+	opt.SkipSelfPairs = req.Self
+	return opt
+}
+
+// blatOptions validates and builds the blat.Options a request asks for.
+// Result-changing options an engine does not implement are refused, not
+// silently dropped — a 200 carrying half the strands the client asked
+// for would be a correctness bug in HTTP form. (workers stays accepted
+// everywhere: parallelism is the server's scheduling decision, never a
+// result change.)
+func blatOptions(req *compareRequest) (blat.Options, error) {
+	var opt blat.Options
+	if req.Self {
+		return opt, fmt.Errorf("self-comparison is an oris-engine mode")
+	}
+	if req.BothStrands != nil && *req.BothStrands {
+		return opt, fmt.Errorf("the blat engine searches a single strand only (drop both_strands or use engine oris/blastn)")
+	}
+	if req.Asymmetric != nil && *req.Asymmetric {
+		return opt, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
+	}
+	opt = blat.DefaultOptions()
+	applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+	return opt, nil
+}
+
+// blastnOptions validates and builds the blastn.Options a request asks
+// for.
+func blastnOptions(req *compareRequest) (blastn.Options, error) {
+	var opt blastn.Options
+	if req.Self {
+		return opt, fmt.Errorf("self-comparison is an oris-engine mode")
+	}
+	if req.Asymmetric != nil && *req.Asymmetric {
+		return opt, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
+	}
+	opt = blastn.DefaultOptions()
+	applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
+	if req.BothStrands != nil {
+		opt.BothStrands = *req.BothStrands
+	}
+	return opt, nil
+}
+
+// runCompareAligns dispatches to the selected engine and returns its
+// display-sorted alignments.
+func (s *Server) runCompareAligns(db, query *bank.Bank, req *compareRequest) ([]align.Alignment, error) {
 	switch engineName(req.Engine) {
 	case "oris":
-		opt := core.DefaultOptions()
-		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
-		if req.BothStrands != nil && *req.BothStrands {
-			opt.Strand = core.BothStrands
-		}
-		if req.Asymmetric != nil && *req.Asymmetric {
-			opt.W = 10
-			opt.Asymmetric = true
-		}
-		opt.Workers = s.clampWorkers(req.Workers)
-		opt.SkipSelfPairs = req.Self
+		opt := s.orisOptions(req)
 		p1, p2, err := core.Prepare(s.cache, db, query, opt)
 		if err != nil {
 			return nil, err
@@ -705,41 +848,22 @@ func (s *Server) runCompare(db, query *bank.Bank, req *compareRequest) ([]tabula
 		if err != nil {
 			return nil, err
 		}
-		return toRecords(res.Alignments, db, query), nil
+		return res.Alignments, nil
 	case "blat":
-		// Result-changing options an engine does not implement are
-		// refused, not silently dropped — a 200 carrying half the
-		// strands the client asked for is this PR's -self/-i bug in
-		// HTTP form. (workers stays accepted everywhere: parallelism
-		// is the server's scheduling decision, never a result change.)
-		if req.Self {
-			return nil, fmt.Errorf("self-comparison is an oris-engine mode")
+		opt, err := blatOptions(req)
+		if err != nil {
+			return nil, err
 		}
-		if req.BothStrands != nil && *req.BothStrands {
-			return nil, fmt.Errorf("the blat engine searches a single strand only (drop both_strands or use engine oris/blastn)")
-		}
-		if req.Asymmetric != nil && *req.Asymmetric {
-			return nil, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
-		}
-		opt := blat.DefaultOptions()
-		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
 		pdb := s.cache.Get(db, opt.IndexOptions())
 		res, err := blat.CompareWithIndex(pdb, query, opt)
 		if err != nil {
 			return nil, err
 		}
-		return toRecords(res.Alignments, db, query), nil
+		return res.Alignments, nil
 	case "blastn":
-		if req.Self {
-			return nil, fmt.Errorf("self-comparison is an oris-engine mode")
-		}
-		if req.Asymmetric != nil && *req.Asymmetric {
-			return nil, fmt.Errorf("asymmetric half-word indexing is an oris-engine mode")
-		}
-		opt := blastn.DefaultOptions()
-		applyCommon(&opt.W, &opt.MaxEValue, &opt.Dust, &opt.Scoring, req)
-		if req.BothStrands != nil {
-			opt.BothStrands = *req.BothStrands
+		opt, err := blastnOptions(req)
+		if err != nil {
+			return nil, err
 		}
 		sess, err := s.sessions.checkout(db, opt)
 		if err != nil {
@@ -753,10 +877,20 @@ func (s *Server) runCompare(db, query *bank.Bank, req *compareRequest) ([]tabula
 		if err != nil {
 			return nil, err
 		}
-		return toRecords(res.Alignments, db, query), nil
+		return res.Alignments, nil
 	default:
 		return nil, fmt.Errorf("unknown engine %q (use oris, blat, or blastn)", req.Engine)
 	}
+}
+
+// runCompare converts runCompareAligns's output with the same tabular
+// conversion the CLIs use, so the m8 bytes match the CLI byte for byte.
+func (s *Server) runCompare(db, query *bank.Bank, req *compareRequest) ([]tabular.Record, error) {
+	as, err := s.runCompareAligns(db, query, req)
+	if err != nil {
+		return nil, err
+	}
+	return toRecords(as, db, query), nil
 }
 
 // applyCommon copies the option fields shared by all three engines.
@@ -804,6 +938,7 @@ type Stats struct {
 	LastGC   *ixdisk.GCStats `json:"last_gc,omitempty"`
 	Server   ServerStats     `json:"server"`
 	Sessions SessionStats    `json:"sessions"`
+	Jobs     JobStats        `json:"jobs"`
 }
 
 // StoreStats are the DirStore-side counters (the cache's DiskHits /
@@ -817,8 +952,14 @@ type StoreStats struct {
 
 // ServerStats count the HTTP side.
 type ServerStats struct {
-	Requests       int64 `json:"requests"`
-	Compares       int64 `json:"compares"`
+	Requests int64 `json:"requests"`
+	Compares int64 `json:"compares"`
+	Batches  int64 `json:"batches"`
+	// Admissions counts worker slots ever granted — the cumulative
+	// companion to the instantaneous Admitted. A batch of N queries
+	// moves it by exactly 1; that delta is what proves the batch path's
+	// single-admission contract.
+	Admissions     int64 `json:"admissions"`
 	Rejected       int64 `json:"rejected"`
 	Abandoned      int64 `json:"abandoned"`
 	TimedOut       int64 `json:"timed_out"`
@@ -828,6 +969,19 @@ type ServerStats struct {
 	QueueDepth     int   `json:"queue_depth"`
 	RequestWorkers int   `json:"request_workers"`
 	Draining       bool  `json:"draining"`
+}
+
+// JobStats count the async job subsystem.
+type JobStats struct {
+	Created   int64 `json:"created"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	// Held counts job records currently retained (any state); the
+	// MaxJobs bound applies to this number.
+	Held int `json:"held"`
 }
 
 // SessionStats count the blastn session pool.
@@ -849,6 +1003,8 @@ func (s *Server) StatsSnapshot() Stats {
 		Server: ServerStats{
 			Requests:       s.requests.Load(),
 			Compares:       s.compares.Load(),
+			Batches:        s.batches.Load(),
+			Admissions:     s.admissions.Load(),
 			Rejected:       s.rejected.Load(),
 			Abandoned:      s.abandoned.Load(),
 			TimedOut:       s.timedOut.Load(),
@@ -864,6 +1020,7 @@ func (s *Server) StatsSnapshot() Stats {
 			Checkouts: s.sessions.checkouts.Load(),
 			Idle:      s.sessions.idleCount(),
 		},
+		Jobs: s.jobStats(),
 	}
 	if s.store != nil {
 		st.Store = &StoreStats{

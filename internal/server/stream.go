@@ -1,0 +1,198 @@
+// Streamed m8 delivery for POST /compare: the flowing result path of
+// the request lifecycle. A streamed compare writes each query
+// sequence's alignments the moment they are final — chunked transfer,
+// one flush per group — instead of buffering the whole table, and the
+// concatenated bytes are identical to the buffered path (both render
+// the same query-major display order through the same tabular code).
+//
+// # Backpressure
+//
+// The engine goroutine does not write to the socket; it renders each
+// finished group and sends it into a channel of Config.StreamBuffer
+// capacity that the handler goroutine drains onto the wire. A client
+// that stops reading therefore stalls the engine after at most
+// StreamBuffer further groups — bounded per-request memory, enforced by
+// the channel, propagated to the engine by its own emit call blocking.
+//
+// # Cancellation and the status trailer
+//
+// The request context cancels the compare for real: core's stream
+// engine checks it at every step-2 chunk claim and between groups, and
+// the emit select below observes it even while blocked on a full
+// channel. Because a stream's status line is long gone when a failure
+// hits mid-body, the response announces an X-Scoris-Status trailer:
+// "complete" seals a finished stream, anything else ("cancelled",
+// "error") — or a missing trailer, if the connection died outright —
+// marks a torn one. Consumers must treat only "complete" as a full
+// result.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/align"
+	"repro/internal/bank"
+	"repro/internal/core"
+	"repro/internal/tabular"
+)
+
+// m8StreamAccept is the Accept value that requests streamed m8
+// delivery (the header form of "stream": true).
+const m8StreamAccept = "text/x-m8-stream"
+
+// streamStatusTrailer is the HTTP trailer sealing a streamed response:
+// "complete" for a full result, "cancelled"/"error" for a torn one.
+const streamStatusTrailer = "X-Scoris-Status"
+
+// streamStatusComplete is the trailer value of an intact stream.
+const streamStatusComplete = "complete"
+
+// sendGroup receives one query sequence's rendered m8 lines; it is
+// called once per query sequence in bank order, empty groups included
+// (m8 empty) so consumers can count progress. The callee owns m8.
+type sendGroup func(seq2 int, m8 []byte) error
+
+// writeStreamHeader marks the response as a stream: m8 content, the
+// X-Scoris-Stream marker (how the fleet router recognizes a relayable
+// stream before the first body byte), and the status-trailer
+// announcement, which must precede the first write.
+func writeStreamHeader(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	h.Set("X-Scoris-Stream", "m8")
+	h.Set("Trailer", streamStatusTrailer)
+}
+
+// streamCompare serves an admitted streamed compare. It owns release.
+func (s *Server) streamCompare(ctx context.Context, w http.ResponseWriter, db, query *bank.Bank, req *compareRequest, release func()) {
+	flusher, _ := w.(http.Flusher)
+	chunks := make(chan []byte, s.cfg.StreamBuffer)
+	errc := make(chan error, 1)
+	go func() {
+		defer release()
+		defer close(chunks)
+		if hold := s.testHoldCompare; hold != nil {
+			<-hold
+		}
+		if err := ctx.Err(); err != nil {
+			errc <- err
+			return
+		}
+		errc <- s.runCompareStream(ctx, db, query, req, func(_ int, m8 []byte) error {
+			if gate := s.testStreamGate; gate != nil {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			if len(m8) == 0 {
+				return nil
+			}
+			select {
+			case chunks <- m8:
+				return nil
+			case <-ctx.Done():
+				// Blocked on a full buffer with the client gone: the
+				// ctx, not the consumer, is what unblocks the engine.
+				return ctx.Err()
+			}
+		})
+	}()
+
+	wroteHeader := false
+	for buf := range chunks {
+		if !wroteHeader {
+			writeStreamHeader(w)
+			wroteHeader = true
+		}
+		if _, err := w.Write(buf); err != nil {
+			// A failed write means the connection is broken; stop
+			// consuming and let the engine unblock through the request
+			// context, which the server cancels for a dead client.
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	err := <-errc
+	switch {
+	case err == nil:
+		if !wroteHeader {
+			// A compare with zero alignments is still a complete
+			// stream: headers, empty body, sealing trailer.
+			writeStreamHeader(w)
+		}
+		w.Header().Set(streamStatusTrailer, streamStatusComplete)
+		s.compares.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.timedOut.Add(1)
+		} else {
+			s.abandoned.Add(1)
+		}
+		if !wroteHeader {
+			// Nothing sent yet — the buffered path's answers still
+			// apply (504 for a server deadline, silence for a vanished
+			// client). finishCancelled would double-count; write the
+			// timeout body directly.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				writeTimeoutBody(w, s.cfg.RequestTimeout)
+			}
+			return
+		}
+		w.Header().Set(streamStatusTrailer, "cancelled")
+	default:
+		if !wroteHeader {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Mid-stream failure: the 200 is irrevocable; the trailer is
+		// the only channel left to say the stream is torn.
+		w.Header().Set(streamStatusTrailer, "error")
+	}
+}
+
+// runCompareStream dispatches a streamed compare. The oris engine
+// streams natively (send is called as each query sequence finishes,
+// while later sequences are still extending); blat and blastn buffer
+// inside their engines, so their delivery is streamed after the fact —
+// the finished table is emitted one query-sequence run at a time.
+func (s *Server) runCompareStream(ctx context.Context, db, query *bank.Bank, req *compareRequest, send sendGroup) error {
+	if engineName(req.Engine) == "oris" {
+		opt := s.orisOptions(req)
+		p1, p2, err := core.Prepare(s.cache, db, query, opt)
+		if err != nil {
+			return err
+		}
+		_, err = core.CompareStreamWithIndex(ctx, p1, p2, opt,
+			func(seq2 int, g []align.Alignment) error {
+				return send(seq2, tabular.AppendGroup(nil, g, db, query))
+			})
+		return err
+	}
+	as, err := s.runCompareAligns(db, query, req)
+	if err != nil {
+		return err
+	}
+	// Display order is query-major, so each sequence's alignments are
+	// one contiguous run.
+	lo := 0
+	for seq2 := 0; seq2 < query.NumSeqs(); seq2++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo
+		for hi < len(as) && int(as[hi].Seq2) == seq2 {
+			hi++
+		}
+		if err := send(seq2, tabular.AppendGroup(nil, as[lo:hi], db, query)); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}

@@ -2,9 +2,16 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bank"
 	"repro/internal/blastn"
@@ -187,4 +194,266 @@ func TestServerStoreWarmStart(t *testing.T) {
 	run(3, 0)
 	// Warm server: zero builds, all three keys served from the store.
 	run(0, 3)
+}
+
+// TestServerStressStreamedDisconnects (run under -race in CI) fires a
+// full house of concurrent streamed compares and tears every client
+// away mid-compare. The gate budget makes the outcome deterministic:
+// 20 tokens across 6 streams lets some streams get past their first m8
+// byte (query seq 8 of est2's 43) while guaranteeing none can finish
+// (43 groups each), so every request must end abandoned — slot freed,
+// Abandoned incremented, Compares untouched.
+func TestServerStressStreamedDisconnects(t *testing.T) {
+	est1, est2, _ := testBanks(t)
+	const clients = 6
+	srv := New(Config{MaxConcurrent: clients, QueueDepth: 4, StreamBuffer: 1})
+	if err := srv.RegisterBank("est1", est1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterBank("est2", est2, false); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv.testStreamGate = gate
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/compare",
+				strings.NewReader(`{"db":"est1","query":"est2","stream":true}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return // cancelled before the first byte arrived
+			}
+			// Read until the cancellation tears the connection.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+
+	// Blocking sends: when this loop returns, every token has been
+	// consumed by a running engine — all six streams are live and
+	// parked on the gate, none finished.
+	for i := 0; i < 20; i++ {
+		gate <- struct{}{}
+	}
+	cancel()
+	wg.Wait()
+
+	waitFor(t, func() bool { return srv.admitted.Load() == 0 })
+	waitFor(t, func() bool { return srv.abandoned.Load() == clients })
+	if got := srv.compares.Load(); got != 0 {
+		t.Errorf("compares = %d after %d torn streams, want 0", got, clients)
+	}
+	if got := srv.rejected.Load(); got != 0 {
+		t.Errorf("rejected = %d, want 0 (every client fit a slot)", got)
+	}
+}
+
+// TestServerStressBatchVsBankDelete (run under -race in CI) races
+// /compare/batch against DELETE + re-register churn on one of its
+// query banks. The registry contract under churn: a batch either
+// resolves every bank and serves bytes identical to the quiet-registry
+// oracle (in-flight compares keep their bank pointers; deregistration
+// cannot corrupt them), or answers 404 because a name was missing at
+// resolve time. Nothing else — no torn bytes, no 500s, no races.
+func TestServerStressBatchVsBankDelete(t *testing.T) {
+	est1, est2, est3 := testBanks(t)
+	srv := New(Config{MaxConcurrent: 4, QueueDepth: 1 << 20})
+	for _, reg := range []struct {
+		name string
+		b    *bank.Bank
+		db   bool
+	}{{"est1", est1, true}, {"est2", est2, false}, {"est3", est3, false}} {
+		if err := srv.RegisterBank(reg.name, reg.b, reg.db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Oracle from the single-compare path, before any churn.
+	_, m8est2 := postCompare(t, ts.URL, `{"db":"est1","query":"est2"}`)
+	_, m8est3 := postCompare(t, ts.URL, `{"db":"est1","query":"est3"}`)
+	want := append(append([]byte(nil), m8est2...), m8est3...)
+
+	const goroutines = 6
+	const rounds = 5
+	var served, missed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp := streamPost(t, ts.URL, "/compare/batch",
+					`{"db":"est1","queries":["est2","est3"]}`, "")
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("reading batch response: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !bytes.Equal(body, want) {
+						t.Errorf("batch under churn differs from oracle: %d vs %d bytes",
+							len(body), len(want))
+						return
+					}
+					served.Add(1)
+				case http.StatusNotFound:
+					missed.Add(1) // est3 was deregistered at resolve time
+				default:
+					t.Errorf("batch under churn: status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; i < 40; i++ {
+			req, err := http.NewRequest(http.MethodDelete, ts.URL+"/banks?name=est3", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Same pointer, same content: re-registration restores the
+			// exact bank, so served batches stay byte-deterministic.
+			if err := srv.RegisterBank("est3", est3, false); err != nil {
+				t.Errorf("re-registering churned bank: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-churnDone
+
+	if total := served.Load() + missed.Load(); total != goroutines*rounds {
+		t.Errorf("%d batches accounted for (served %d + missed %d), want %d",
+			total, served.Load(), missed.Load(), goroutines*rounds)
+	}
+	// The churn loop always re-registers last, so a final batch over the
+	// settled registry must serve the oracle bytes.
+	resp := streamPost(t, ts.URL, "/compare/batch", `{"db":"est1","queries":["est2","est3"]}`, "")
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+		t.Errorf("post-churn batch: err=%v status=%d, %d vs %d bytes",
+			err, resp.StatusCode, len(body), len(want))
+	}
+}
+
+// TestServerStressJobCancelVsCompletion (run under -race in CI) creates
+// a registry full of jobs and fires a DELETE at each one from a racing
+// goroutine, with followers attached. Wherever the cancel lands —
+// queued, mid-run, or after the job already finished — each job must
+// seal exactly one terminal state, each follower must get a coherent
+// stream ("complete" ⇒ oracle bytes, "cancelled" ⇒ a prefix), and the
+// worker slots and registry must drain to empty.
+func TestServerStressJobCancelVsCompletion(t *testing.T) {
+	est1, est2, _ := testBanks(t)
+	const jobCount = 12
+	srv := New(Config{MaxConcurrent: 4, QueueDepth: 8, MaxJobs: jobCount})
+	if err := srv.RegisterBank("est1", est1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterBank("est2", est2, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, want := postCompare(t, ts.URL, `{"db":"est1","query":"est2"}`)
+	comparesBefore := srv.compares.Load()
+
+	var wg sync.WaitGroup
+	for i := 0; i < jobCount; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := streamPost(t, ts.URL, "/jobs", `{"db":"est1","query":"est2"}`, "")
+			var created jobStatus
+			err := json.NewDecoder(resp.Body).Decode(&created)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusAccepted {
+				t.Errorf("job create: status %d, err %v", resp.StatusCode, err)
+				return
+			}
+			// Follow the result, then cancel at a staggered moment so
+			// deletes land across queued → running → done.
+			rr := streamGet(t, ts.URL, "/jobs/"+created.ID+"/result")
+			time.Sleep(time.Duration(i%4) * 2 * time.Millisecond)
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+created.ID, nil)
+			dr, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				rr.Body.Close()
+				return
+			}
+			io.Copy(io.Discard, dr.Body)
+			dr.Body.Close()
+			if dr.StatusCode != http.StatusOK {
+				t.Errorf("job delete: status %d", dr.StatusCode)
+			}
+			body, err := io.ReadAll(rr.Body)
+			rr.Body.Close()
+			if err != nil {
+				t.Errorf("follower read: %v", err)
+				return
+			}
+			switch tr := rr.Trailer.Get(streamStatusTrailer); tr {
+			case streamStatusComplete:
+				if !bytes.Equal(body, want) {
+					t.Errorf("completed job served %d bytes, want %d", len(body), len(want))
+				}
+			case "cancelled":
+				if len(body) > len(want) {
+					t.Errorf("cancelled job served %d bytes, more than a full result (%d)",
+						len(body), len(want))
+				}
+			default:
+				t.Errorf("follower trailer = %q, want complete or cancelled", tr)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every job seals exactly one terminal state; none can fail.
+	waitFor(t, func() bool {
+		return srv.jobsCompleted.Load()+srv.jobsCancelled.Load()+srv.jobsFailed.Load() == jobCount
+	})
+	if f := srv.jobsFailed.Load(); f != 0 {
+		t.Errorf("jobsFailed = %d, want 0", f)
+	}
+	if c := srv.jobsCreated.Load(); c != jobCount {
+		t.Errorf("jobsCreated = %d, want %d", c, jobCount)
+	}
+	if got := srv.compares.Load() - comparesBefore; got != srv.jobsCompleted.Load() {
+		t.Errorf("compares grew by %d for %d completed jobs", got, srv.jobsCompleted.Load())
+	}
+	waitFor(t, func() bool { return len(srv.sem) == 0 })
+	if js := srv.jobStats(); js.Held != 0 || js.Queued != 0 || js.Running != 0 {
+		t.Errorf("registry not drained: %+v", js)
+	}
 }

@@ -84,6 +84,53 @@ func formatEValue(e float64) string {
 	}
 }
 
+// AppendGroup renders one query sequence's alignments as m8 lines onto
+// dst and returns the extended slice. It is the streaming counterpart
+// of Write over FromAlignment: concatenating the groups of every bank-2
+// sequence in bank order yields bytes identical to the buffered report,
+// because display order is query-major (align.SortForDisplay).
+func AppendGroup(dst []byte, alignments []align.Alignment, bank1, bank2 *bank.Bank) []byte {
+	for i := range alignments {
+		r := FromAlignment(&alignments[i], bank1, bank2)
+		dst = append(dst, r.String()...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// StreamWriter emits m8 output one query-sequence group at a time:
+// each WriteGroup call renders the group and hands the underlying
+// writer exactly one Write, so a flushing consumer (chunked HTTP, a
+// pipe) sees a finished query's lines immediately instead of after the
+// whole compare.
+type StreamWriter struct {
+	w            io.Writer
+	bank1, bank2 *bank.Bank
+	buf          []byte
+	n            int64
+}
+
+// NewStreamWriter returns a StreamWriter rendering alignments between
+// bank1 (subjects) and bank2 (queries) onto w.
+func NewStreamWriter(w io.Writer, bank1, bank2 *bank.Bank) *StreamWriter {
+	return &StreamWriter{w: w, bank1: bank1, bank2: bank2}
+}
+
+// WriteGroup renders one query sequence's alignments and writes them.
+// An empty group writes nothing and is not an error.
+func (sw *StreamWriter) WriteGroup(alignments []align.Alignment) error {
+	if len(alignments) == 0 {
+		return nil
+	}
+	sw.buf = AppendGroup(sw.buf[:0], alignments, sw.bank1, sw.bank2)
+	m, err := sw.w.Write(sw.buf)
+	sw.n += int64(m)
+	return err
+}
+
+// BytesWritten reports the total m8 bytes written so far.
+func (sw *StreamWriter) BytesWritten() int64 { return sw.n }
+
 // Parse parses one m8 line.
 func Parse(line string) (Record, error) {
 	f := strings.Fields(line)

@@ -30,6 +30,7 @@
 package scoris
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -177,6 +178,30 @@ func NewDirIndexStore(dir string) (*DirIndexStore, error) { return ixdisk.NewDir
 // under opt. The results feed CompareWithIndex any number of times.
 func Prepare(cache *IndexCache, bank1, bank2 *Bank, opt Options) (p1, p2 *Prepared, err error) {
 	return core.Prepare(cache, bank1, bank2, opt)
+}
+
+// Emit receives one query sequence's finished alignments from a
+// streamed compare. It is called once per bank-2 sequence, in bank
+// order, empty groups included; returning an error (or the ctx
+// cancelling) stops the compare. The concatenation of the emitted
+// groups is exactly Compare's Alignments slice.
+type Emit = core.Emit
+
+// CompareStream runs the ORIS pipeline like Compare but delivers each
+// query sequence's alignments through emit the moment they are final,
+// instead of accumulating the whole result. The returned Result carries
+// the run metrics only (its Alignments slice is nil). ctx cancellation
+// is honored mid-run — between query groups and at extension-chunk
+// claims — which is what makes abandoning a long compare cheap.
+func CompareStream(ctx context.Context, bank1, bank2 *Bank, opt Options, emit Emit) (*Result, error) {
+	return core.CompareStream(ctx, bank1, bank2, opt, emit)
+}
+
+// CompareStreamWithIndex is CompareStream over prepared banks, with the
+// same reuse contract as CompareWithIndex: both prepared values must
+// match opt exactly.
+func CompareStreamWithIndex(ctx context.Context, p1, p2 *Prepared, opt Options, emit Emit) (*Result, error) {
+	return core.CompareStreamWithIndex(ctx, p1, p2, opt, emit)
 }
 
 // CompareWithIndex runs the ORIS pipeline on prepared banks, skipping
