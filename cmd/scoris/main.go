@@ -56,10 +56,15 @@ func main() {
 		ixMinSave = flag.Int("index-min-save", 0, "decline persisting banks smaller than this many bases (0 = no floor; the -d bank is always persisted)")
 		ixMaxMB   = flag.Int64("index-max-mb", 0, "garbage-collect the index store down to this many megabytes, oldest files first (0 = unbounded)")
 		ixMaxAge  = flag.Duration("index-max-age", 0, "garbage-collect index files unused for longer than this duration, e.g. 720h (0 = no age bound)")
+		ixProbe   = flag.String("index-probe", "", "print the named .orix index file's metadata (format version, bank identity, block directory) as key: value lines and exit; no comparison is run")
 		verbose   = flag.Bool("v", false, "print per-step metrics to stderr")
 	)
 	flag.Var(&qPaths, "i", "query bank FASTA (bank 2; repeatable — the -d index is built once and reused)")
 	flag.Parse()
+	if *ixProbe != "" {
+		fatal(probeIndexFile(os.Stdout, *ixProbe))
+		return
+	}
 	if *dbPath == "" || (len(qPaths) == 0 && !*self) {
 		fmt.Fprintln(os.Stderr, "usage: scoris -d bankA.fasta -i bankB.fasta [-i bankC.fasta ...] [flags]")
 		fmt.Fprintln(os.Stderr, "       scoris -d genome.fasta -self [flags]")
@@ -195,9 +200,9 @@ func main() {
 		// counters, not only the cache's: extension write-backs never
 		// pass through the cache's save path.
 		fmt.Fprintf(os.Stderr,
-			"scoris: index store: %d builds, %d disk hits (%d suffix extensions), %d lookups, %d declined saves, %d store errors (%s)\n",
-			cache.Builds(), cache.DiskHits(), store.Extends(), cache.Lookups(),
-			store.SavesDeclined(), cache.DiskErrors()+store.WriteBackErrors(), *indexDir)
+			"scoris: index store: %d builds, %d disk hits (%d suffix extensions), %d block loads, %d block appends, %d lookups, %d declined saves, %d store errors (%s)\n",
+			cache.Builds(), cache.DiskHits(), store.Extends(), store.BlockLoads(), store.BlockAppends(),
+			cache.Lookups(), store.SavesDeclined(), cache.DiskErrors()+store.WriteBackErrors(), *indexDir)
 		// A final explicit collection so age caps apply even on runs
 		// that saved nothing (the save-triggered GC only runs on
 		// writes); the stats line is what CI's shrink assertion reads.
@@ -207,6 +212,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scoris: index store gc: %s\n", st)
 		}
 	}
+}
+
+// probeIndexFile serves -index-probe: the stored file's metadata as
+// stable key: value lines (CI's persistence job parses blocks and
+// prefix_bytes to assert O(suffix) appends byte-for-byte).
+func probeIndexFile(out io.Writer, path string) error {
+	info, err := scoris.ProbeIndexFile(path)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "file: %s\n", path)
+	fmt.Fprintf(out, "version: %d\n", info.Version)
+	fmt.Fprintf(out, "sequences: %d\n", info.NumSeqs)
+	fmt.Fprintf(out, "data_bytes: %d\n", info.DataLen)
+	fmt.Fprintf(out, "bank_crc: %016x\n", info.BankCRC)
+	fmt.Fprintf(out, "blocks: %d\n", len(info.Blocks))
+	// prefix_bytes is the append-invariant boundary: every byte before
+	// it survives an in-place append unchanged (v3; the whole file for
+	// v2, which appends never reuse in place).
+	fmt.Fprintf(out, "prefix_bytes: %d\n", info.PayloadEnd)
+	fmt.Fprintf(out, "file_bytes: %d\n", fi.Size())
+	for i, bl := range info.Blocks {
+		fmt.Fprintf(out, "block[%d]: seqs [%d,%d) data [%d,%d) at %d len %d\n",
+			i, bl.SeqLo, bl.SeqHi, bl.DataLo, bl.DataHi, bl.Offset, bl.Length)
+	}
+	return nil
 }
 
 func writeResult(out io.Writer, res *scoris.Result, bank1, bank2 *scoris.Bank, opt scoris.Options, format int) {

@@ -10,9 +10,13 @@
 // -index-dir the on-disk store tier makes even process restarts warm
 // (zero builds, proven live by GET /stats).
 //
-//	curl -s localhost:7333/banks -d '{"name":"q1","path":"run1.fasta"}'
-//	curl -s localhost:7333/compare -d '{"db":"db","query":"q1"}' > run1.m8
-//	curl -s localhost:7333/stats | jq .cache.builds
+//	curl -s localhost:7333/v1/banks -d '{"name":"q1","path":"run1.fasta"}'
+//	curl -s localhost:7333/v1/compare -d '{"db":"db","query":"q1"}' > run1.m8
+//	curl -s localhost:7333/v1/stats | jq .cache.builds
+//
+// The API is versioned under /v1/; the bare legacy paths remain as
+// deprecated aliases that answer identically while setting a
+// Deprecation header (DESIGN.md §8).
 //
 // Results also flow instead of accumulating: ask for a streamed compare
 // (Accept: text/x-m8-stream, backpressure bounded by -stream-buffer),

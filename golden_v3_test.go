@@ -1,0 +1,127 @@
+package scoris
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ixcache"
+	"repro/internal/ixdisk"
+	"repro/internal/server"
+	"repro/internal/simulate"
+)
+
+// TestGoldenM8ThroughHealAndV1 pins the corpus bytes through the two
+// surfaces PR 8 added: a server whose store holds a legacy v2 index
+// file (served once while healing it to v3, then again from the healed
+// v3 file), reached through the versioned /v1/ routes. Every leg must
+// reproduce testdata/golden/oris-default.m8 exactly — the disk format
+// generation and the API prefix are both invisible in the result
+// bytes.
+func TestGoldenM8ThroughHealAndV1(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "oris-default.m8"))
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+
+	ds := simulate.NewDataSet(256)
+	est1, est2 := ds.Get(simulate.EST1), ds.Get(simulate.EST2)
+
+	dir := t.TempDir()
+	store, err := ixdisk.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Manufacture legacy state: both banks' indexes on disk as v2, the
+	// format a pre-upgrade deployment would have left behind. The
+	// server's options derivation must match what its compare will ask
+	// for, so prepare through the same core path.
+	opt := DefaultOptions()
+	cache := NewIndexCache(0)
+	p1, p2, err := Prepare(cache, est1, est2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*ixcache.Prepared{p1, p2} {
+		if err := ixdisk.SaveLegacyV2(store.Path(p.Bank, p.Ix.Options()), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2Files := probeVersions(t, dir)
+	if v2Files[2] != 2 || v2Files[3] != 0 {
+		t.Fatalf("fixture store holds %v, want two v2 files", v2Files)
+	}
+
+	srv := server.New(server.Config{Store: store})
+	if err := srv.RegisterBank("db", est1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterBank("q", est2, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := `{"db":"db","query":"q"}`
+
+	// Leg 1: served from the v2 files via /v1/, healing them in place.
+	status, healed := postBytes(t, ts.URL+"/v1/compare", req, "")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/compare over v2 store: status %d: %s", status, healed)
+	}
+	if !bytes.Equal(healed, want) {
+		t.Errorf("output through the v2 heal path differs from golden (%d vs %d bytes)",
+			len(healed), len(want))
+	}
+	afterHeal := probeVersions(t, dir)
+	if afterHeal[3] != 2 || afterHeal[2] != 0 {
+		t.Fatalf("store holds %v after serving, want both files healed to v3", afterHeal)
+	}
+
+	// Leg 2: a cold server over the healed v3 files, again via /v1/ —
+	// zero builds, same bytes.
+	srv2 := server.New(server.Config{Store: store})
+	if err := srv2.RegisterBank("db", est1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.RegisterBank("q", est2, false); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	status, fromV3 := postBytes(t, ts2.URL+"/v1/compare", req, "")
+	if status != http.StatusOK || !bytes.Equal(fromV3, want) {
+		t.Errorf("output from the healed v3 store differs from golden (status %d, %d vs %d bytes)",
+			status, len(fromV3), len(want))
+	}
+
+	// Leg 3: the deprecated bare alias answers the same bytes.
+	status, legacy := postBytes(t, ts2.URL+"/compare", req, "")
+	if status != http.StatusOK || !bytes.Equal(legacy, want) {
+		t.Errorf("legacy-alias output differs from golden (status %d, %d vs %d bytes)",
+			status, len(legacy), len(want))
+	}
+}
+
+// probeVersions counts the store's files by probed format version.
+func probeVersions(t *testing.T, dir string) map[int]int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int]int{}
+	for _, e := range ents {
+		info, err := ProbeIndexFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("probing %s: %v", e.Name(), err)
+		}
+		out[info.Version]++
+	}
+	return out
+}

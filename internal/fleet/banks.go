@@ -8,6 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/bank"
 	"repro/internal/fasta"
@@ -20,6 +23,15 @@ import (
 // index" agree on what a bank is.
 func bankKey(b *bank.Bank) string {
 	return fmt.Sprintf("%016x-%x-%x", ixdisk.BankChecksum(b), len(b.Data), b.NumSeqs())
+}
+
+// fill records the bank's routing identity on the record: the rendered
+// key plus its raw components and per-sequence checksums (for matching
+// store files — exact or prefix — by identity).
+func (rec *bankRecord) fill(b *bank.Bank) {
+	rec.Key, rec.Seqs, rec.Bases = bankKey(b), b.NumSeqs(), b.TotalBases()
+	rec.crc, rec.dataLen = ixdisk.BankChecksum(b), len(b.Data)
+	rec.seqSums = b.SeqChecksums()
 }
 
 // bankInfo is the router's answer for one bank (GET /banks rows and
@@ -38,6 +50,14 @@ type bankInfo struct {
 	// Errors carries per-owner registration failures (the bank is still
 	// routable: any live worker can be backfilled on demand).
 	Errors []string `json:"errors,omitempty"`
+	// IndexFiles and IndexBlocks report what the shared index store
+	// (Config.IndexDir) holds for this bank's identity: how many .orix
+	// files match it — exact matches and stored prefixes of it both
+	// count, since either warms a worker — and the total v3 blocks
+	// across them. Learned by probing file metadata only; omitted when
+	// the router has no IndexDir configured.
+	IndexFiles  int `json:"index_files,omitempty"`
+	IndexBlocks int `json:"index_blocks,omitempty"`
 }
 
 // handleBanks mirrors the scorisd /banks surface at fleet scope: a POST
@@ -73,10 +93,61 @@ func (rt *Router) infoFor(rec *bankRecord) bankInfo {
 	for i, o := range owners {
 		names[i] = o.Name
 	}
-	return bankInfo{
+	info := bankInfo{
 		Name: rec.Name, Key: rec.Key, DB: rec.DB,
 		Sequences: rec.Seqs, Bases: rec.Bases, Owners: names,
 	}
+	info.IndexFiles, info.IndexBlocks = rt.storedIndexes(rec)
+	return info
+}
+
+// storedIndexes scans the shared index store for files matching rec's
+// bank — the exact bank, or a stored prefix of it (which a worker can
+// complete with one appended block). Identity comes from each file's
+// probed metadata alone: the fixed header and, for v3, the footer
+// directory. No index payload is ever read, so a /banks listing stays
+// cheap no matter how large the stored indexes are.
+func (rt *Router) storedIndexes(rec *bankRecord) (files, blocks int) {
+	dir := rt.cfg.IndexDir
+	if dir == "" {
+		return 0, 0
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ixdisk.FileExt) {
+			continue
+		}
+		info, err := ixdisk.Probe(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		exact := info.BankCRC == rec.crc && info.DataLen == int64(rec.dataLen) &&
+			info.NumSeqs == rec.Seqs
+		if !exact && !rec.isPrefix(info) {
+			continue
+		}
+		files++
+		blocks += len(info.Blocks)
+	}
+	return files, blocks
+}
+
+// isPrefix reports whether the probed file records a strict
+// sequence-prefix of rec's bank: fewer sequences, each matching the
+// bank's per-sequence checksum in order.
+func (rec *bankRecord) isPrefix(info *ixdisk.FileInfo) bool {
+	if info.NumSeqs <= 0 || info.NumSeqs >= rec.Seqs || len(rec.seqSums) < info.NumSeqs {
+		return false
+	}
+	for i, sum := range info.SeqSums {
+		if rec.seqSums[i] != sum {
+			return false
+		}
+	}
+	return true
 }
 
 // registerBank accepts the same two body shapes scorisd does — a JSON
@@ -108,7 +179,7 @@ func (rt *Router) registerBank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		b := bank.New(rec.Name, recs)
-		rec.Key, rec.Seqs, rec.Bases = bankKey(b), b.NumSeqs(), b.TotalBases()
+		rec.fill(b)
 		rec.fasta = body
 	} else {
 		var req struct {
@@ -136,7 +207,7 @@ func (rt *Router) registerBank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rec.Name, rec.DB = req.Name, req.DB
-		rec.Key, rec.Seqs, rec.Bases = bankKey(b), b.NumSeqs(), b.TotalBases()
+		rec.fill(b)
 		rec.specJSON, _ = json.Marshal(req)
 	}
 

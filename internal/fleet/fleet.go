@@ -51,6 +51,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/httpapi"
 )
 
 // Config tunes the router. The zero value is serviceable: every field
@@ -88,6 +90,12 @@ type Config struct {
 	// Client performs all worker-bound HTTP. Defaults to a dedicated
 	// client with no global timeout (contexts bound each call).
 	Client *http.Client
+	// IndexDir, when set, names the index store directory the workers
+	// share (their -index-dir). The router never loads an index from
+	// it; it only probes file metadata — header plus v3 footer
+	// directory, a few KiB per file — to annotate GET /banks with
+	// which banks have a stored index and how many blocks it holds.
+	IndexDir string
 }
 
 // DefaultReplication is how many workers own each bank by default.
@@ -209,6 +217,12 @@ type bankRecord struct {
 	DB    bool
 	Seqs  int
 	Bases int
+	// crc, dataLen, and seqSums are the bank's identity kept
+	// unserialized, so the store probe can match index files — exact
+	// or stored-prefix — without re-parsing the key string.
+	crc     uint64
+	dataLen int
+	seqSums []uint64
 
 	specJSON []byte // JSON {"name","path","db"} registration to replay
 	fasta    []byte // raw FASTA body registration to replay (exclusive)
@@ -347,7 +361,10 @@ func (rt *Router) owners(key string) []*worker {
 	return ranked[:n]
 }
 
-// Handler returns the router's HTTP mux.
+// Handler returns the router's HTTP mux. Like the worker surface, all
+// routes are served under /v1/ with the bare legacy paths kept as
+// deprecated aliases (see internal/httpapi), so a router can front
+// clients written against either surface.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compare", rt.count(rt.handleCompare))
@@ -360,7 +377,7 @@ func (rt *Router) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.HandleFunc("/readyz", rt.count(rt.handleReadyz))
-	return mux
+	return httpapi.Versioned(mux)
 }
 
 func (rt *Router) count(h http.HandlerFunc) http.HandlerFunc {

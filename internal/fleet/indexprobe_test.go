@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/fasta"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+	"repro/internal/ixdisk"
+)
+
+// probeRecs builds deterministic FASTA records for the store-probe
+// tests (an LCG over ACGT, same technique as the ixdisk tests).
+func probeRecs(t *testing.T, n, count int, seed uint32) []*fasta.Record {
+	t.Helper()
+	const alpha = "ACGT"
+	state := seed
+	recs := make([]*fasta.Record, count)
+	for r := range recs {
+		buf := make([]byte, n)
+		for i := range buf {
+			state = state*1664525 + 1013904223
+			buf[i] = alpha[state>>30]
+		}
+		recs[r] = &fasta.Record{ID: fmt.Sprintf("s%d", r), Seq: buf}
+	}
+	return recs
+}
+
+// TestRouterStoredIndexAnnotation: with a shared IndexDir configured,
+// the router reports which banks have stored indexes — exact files and
+// stored prefixes both — from probed metadata alone, and never
+// attributes another bank's files.
+func TestRouterStoredIndexAnnotation(t *testing.T) {
+	dir := t.TempDir()
+	recsA := probeRecs(t, 600, 5, 42)
+	recsB := probeRecs(t, 600, 5, 777)
+	bankA := bank.New("a", recsA)
+	bankB := bank.New("b", recsB)
+	opts := index.Options{W: 8}
+	store, err := ixdisk.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// bankA: an exact stored index. bankB: nothing stored.
+	if err := store.Save(ixcache.Prepare(bankA, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	rt := New(Config{IndexDir: dir})
+	recA := &bankRecord{Name: "a"}
+	recA.fill(bankA)
+	recB := &bankRecord{Name: "b"}
+	recB.fill(bankB)
+
+	files, blocks := rt.storedIndexes(recA)
+	if files != 1 || blocks < 1 {
+		t.Errorf("bankA: %d files / %d blocks, want 1 file with blocks", files, blocks)
+	}
+	if files, _ := rt.storedIndexes(recB); files != 0 {
+		t.Errorf("bankB: %d files, want 0 (its index was never stored)", files)
+	}
+
+	// A stored prefix of bankB counts: a worker can warm from it with
+	// one appended block. It must not be attributed to bankA.
+	sub := bank.New("b", recsB[:4])
+	if err := store.Save(ixcache.Prepare(sub, opts)); err != nil {
+		t.Fatal(err)
+	}
+	if files, _ := rt.storedIndexes(recB); files != 1 {
+		t.Errorf("bankB after storing its prefix: %d files, want 1", files)
+	}
+	if files, _ := rt.storedIndexes(recA); files != 1 {
+		t.Errorf("bankA after storing bankB's prefix: %d files, want still 1", files)
+	}
+
+	// No IndexDir configured: the probe is off entirely.
+	rtNone := New(Config{})
+	if files, blocks := rtNone.storedIndexes(recA); files != 0 || blocks != 0 {
+		t.Errorf("no IndexDir: %d/%d, want 0/0", files, blocks)
+	}
+}

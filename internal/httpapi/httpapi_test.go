@@ -1,0 +1,68 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestVersionedSurface: /v1/ routes and their bare legacy aliases hit
+// the same handler with the same body; only the deprecation headers
+// distinguish them.
+func TestVersionedSurface(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compare", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "result for "+r.URL.Path)
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "job "+r.URL.Path)
+	})
+	ts := httptest.NewServer(Versioned(mux))
+	defer ts.Close()
+
+	get := func(t *testing.T, path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	v1, v1body := get(t, "/v1/compare")
+	legacy, legacyBody := get(t, "/compare")
+	if v1.StatusCode != http.StatusOK || legacy.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d, want 200/200", v1.StatusCode, legacy.StatusCode)
+	}
+	if v1body != legacyBody {
+		t.Errorf("alias bodies differ: %q vs %q", v1body, legacyBody)
+	}
+	if v1.Header.Get("Deprecation") != "" {
+		t.Error("/v1/ route marked deprecated")
+	}
+	if legacy.Header.Get("Deprecation") != "true" {
+		t.Error("legacy alias missing the Deprecation header")
+	}
+	if got := legacy.Header.Get("Link"); got != `</v1/compare>; rel="successor-version"` {
+		t.Errorf("legacy alias Link header: %q", got)
+	}
+
+	// Subtree routes carry their suffix through the prefix strip.
+	if _, body := get(t, "/v1/jobs/42"); body != "job /jobs/42" {
+		t.Errorf("subtree route under /v1: %q", body)
+	}
+
+	// Unknown paths 404 under both surfaces.
+	if resp, _ := get(t, "/v1/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/v1/nope: status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, "/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/nope: status %d", resp.StatusCode)
+	}
+}

@@ -168,6 +168,50 @@ type Store interface {
 	Save(p *Prepared) error
 }
 
+// SeqRange selects the contiguous sequence range [Lo, Hi) of a bank
+// for block-granular store operations.
+type SeqRange struct {
+	Lo, Hi int
+}
+
+// BlockStore is the block-aware store contract introduced with the
+// block-structured .orix v3 layout. It embeds Store — the whole-index
+// Load/Save pair remains the compat surface every consumer (this
+// cache included) can rely on — and adds the two block-granular
+// operations the monolithic interface could not express:
+//
+//   - LoadBlocks returns a *partial* Prepared holding only the stored
+//     blocks that intersect the given sequence ranges (nil or empty
+//     ranges mean all blocks, i.e. Load). The result is structurally
+//     valid and safe for every index operation, but lookups only see
+//     occurrences from the loaded ranges — the shape a fleet worker
+//     serving one shard of a large bank holds. Partial results must
+//     not be fed back into Save.
+//   - AppendBlock persists p — whose bank extends a previously stored
+//     bank that had oldNumSeqs sequences — by writing one new block
+//     over the stored file's footer instead of rewriting the file:
+//     O(suffix) bytes written. Implementations fall back to a full
+//     save when no appendable stored file exists, so the call is
+//     always as durable as Save (and may equally decline by policy
+//     with ErrSaveDeclined).
+//
+// Package ixdisk's DirStore implements BlockStore; the cache itself
+// only requires Store and discovers block counters via BlockCounters.
+type BlockStore interface {
+	Store
+	LoadBlocks(b *bank.Bank, opts index.Options, ranges []SeqRange) (*Prepared, error)
+	AppendBlock(p *Prepared, oldNumSeqs int) error
+}
+
+// BlockCounters is the optional observability face of a block-aware
+// store: how many blocks it has decoded from disk and how many
+// in-place block appends it has performed. Cache.Counters folds these
+// into its snapshot when the attached store provides them.
+type BlockCounters interface {
+	BlockLoads() int64
+	BlockAppends() int64
+}
+
 // Cache is a concurrency-safe, size-bounded LRU of prepared banks.
 // The zero value is not ready; use New.
 type Cache struct {
@@ -345,15 +389,21 @@ type Counters struct {
 	DiskHits      int64 `json:"disk_hits"`
 	DiskErrors    int64 `json:"disk_errors"`
 	SavesDeclined int64 `json:"saves_declined"`
-	Entries       int   `json:"entries"`
+	// BlockLoads and BlockAppends come from the attached store when it
+	// implements BlockCounters (v3 block-granular I/O); zero otherwise.
+	BlockLoads   int64 `json:"block_loads"`
+	BlockAppends int64 `json:"block_appends"`
+	Entries      int   `json:"entries"`
 }
 
 // Counters snapshots the cache's counters and current size. Each field
 // is individually atomic; the snapshot is taken without the cache lock
 // (except Entries), so counts racing with in-flight Gets may be off by
 // the in-flight operation — fine for the monitoring use it serves.
+// When the attached store implements BlockCounters its block-granular
+// counters are folded into the snapshot.
 func (c *Cache) Counters() Counters {
-	return Counters{
+	cs := Counters{
 		Builds:        c.builds.Load(),
 		Lookups:       c.lookups.Load(),
 		Evictions:     c.evictions.Load(),
@@ -362,4 +412,9 @@ func (c *Cache) Counters() Counters {
 		SavesDeclined: c.savesDeclined.Load(),
 		Entries:       c.Len(),
 	}
+	if bc, ok := c.getStore().(BlockCounters); ok {
+		cs.BlockLoads = bc.BlockLoads()
+		cs.BlockAppends = bc.BlockAppends()
+	}
+	return cs
 }

@@ -1,10 +1,12 @@
 package ixdisk
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/bank"
 	"repro/internal/index"
 	"repro/internal/ixcache"
 )
@@ -66,6 +68,118 @@ func BenchmarkIxdiskLoadMapped(b *testing.B) {
 		}
 		m.Close()
 	}
+}
+
+// appendFixture builds the O(suffix) append scenario at realistic
+// scale: a ≥4 Mb database bank of 64 sequences stored as v3, and the
+// same bank grown by one more sequence. Returns the stored prefix
+// file's bytes (for resetting between benchmark iterations) and the
+// prepared grown index.
+func appendFixture(tb testing.TB) (store *DirStore, short, grown *bank.Bank, opts index.Options, prefixBytes []byte, pGrown *ixcache.Prepared) {
+	tb.Helper()
+	recs := genRecs(tb, 64<<10, 65) // 65 sequences of 64 kb: > 4 Mb
+	short = bank.New("db", recs[:64])
+	grown = bank.New("db", recs)
+	opts = index.Options{W: 10}
+	var err error
+	store, err = NewDirStore(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { store.Close() })
+	if err := store.Save(ixcache.Prepare(short, opts)); err != nil {
+		tb.Fatal(err)
+	}
+	prefixBytes, err = os.ReadFile(store.Path(short, opts))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return store, short, grown, opts, prefixBytes, ixcache.Prepare(grown, opts)
+}
+
+// BenchmarkIndexAppend_v3 measures growing a stored ≥4 Mb index by one
+// sequence through the v3 in-place append: build the suffix block,
+// write it plus a fresh footer over the old footer, rename. The
+// append-bytes metric is what lands on disk per append; compare it to
+// fullsave-bytes, what the pre-v3 extend path rewrote every time.
+func BenchmarkIndexAppend_v3(b *testing.B) {
+	store, short, grown, opts, prefixBytes, pGrown := appendFixture(b)
+	oldPath := store.Path(short, opts)
+	newPath := store.Path(grown, opts)
+	oldInfo, err := Probe(oldPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		os.Remove(newPath)
+		if err := os.WriteFile(oldPath, prefixBytes, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := store.AppendBlock(pGrown, short.NumSeqs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := int(store.BlockAppends()); got != b.N {
+		b.Fatalf("%d of %d iterations fell back to a full save", b.N-got, b.N)
+	}
+	fi, err := os.Stat(newPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(fi.Size()-oldInfo.PayloadEnd), "append-bytes")
+	b.ReportMetric(float64(len(prefixBytes)), "fullsave-bytes")
+}
+
+// TestAppendBytesRatio pins the benchmark's claim as an invariant: at
+// ≥4 Mb, appending one sequence writes at least 10× fewer bytes than
+// the full rewrite the pre-v3 extend path paid, grows the directory by
+// exactly one block, and leaves every stored byte untouched.
+func TestAppendBytesRatio(t *testing.T) {
+	store, short, grown, opts, prefixBytes, pGrown := appendFixture(t)
+	if grown.TotalBases() < 4<<20 {
+		t.Fatalf("fixture bank is %d bases, the scenario requires at least 4 Mb", grown.TotalBases())
+	}
+	oldInfo, err := Probe(store.Path(short, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AppendBlock(pGrown, short.NumSeqs()); err != nil {
+		t.Fatal(err)
+	}
+	if store.BlockAppends() != 1 {
+		t.Fatal("append fell back to a full save")
+	}
+	newPath := store.Path(grown, opts)
+	newBytes, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInfo, err := Probe(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newInfo.Blocks) != len(oldInfo.Blocks)+1 {
+		t.Errorf("append grew the directory from %d to %d blocks, want exactly one more",
+			len(oldInfo.Blocks), len(newInfo.Blocks))
+	}
+	if !bytes.Equal(newBytes[:oldInfo.PayloadEnd], prefixBytes[:oldInfo.PayloadEnd]) {
+		t.Error("stored prefix bytes changed across the append")
+	}
+	appended := int64(len(newBytes)) - oldInfo.PayloadEnd
+	full := int64(len(prefixBytes))
+	if appended*10 > full {
+		t.Errorf("append wrote %d bytes where a full save writes %d — less than the required 10x win",
+			appended, full)
+	}
+	loaded, err := Load(newPath, grown, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexEqual(t, pGrown.Ix, loaded.Ix)
 }
 
 // BenchmarkIxdiskBuild is the comparison column: what a cold process

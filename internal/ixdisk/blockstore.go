@@ -1,0 +1,202 @@
+package ixdisk
+
+// DirStore's implementation of the block-aware store contract
+// (ixcache.BlockStore): block-granular loads and O(suffix) appends on
+// top of the v3 layout. The embedded whole-index Load/Save pair stays
+// the compat surface — everything here is additive.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"repro/internal/bank"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+)
+
+// DirStore implements the block-aware store contract.
+var _ ixcache.BlockStore = (*DirStore)(nil)
+var _ ixcache.BlockCounters = (*DirStore)(nil)
+
+// LoadBlocks returns a partial index for (b, opts) holding only the
+// stored blocks that intersect the given sequence ranges — the shard
+// shape a fleet worker holds for a large bank. Only the header, the
+// footer, and the selected blocks are read. Nil or empty ranges mean
+// every block (identical to Load, minus the memoization — partial and
+// full results must never share a memo slot). The result is
+// structurally valid for every index operation, but lookups only see
+// occurrences from the loaded ranges; do not feed it back into Save.
+func (s *DirStore) LoadBlocks(b *bank.Bank, opts index.Options, ranges []ixcache.SeqRange) (*ixcache.Prepared, error) {
+	if len(ranges) == 0 {
+		return s.Load(b, opts)
+	}
+	for _, r := range ranges {
+		if r.Lo < 0 || r.Hi <= r.Lo || r.Lo >= b.NumSeqs() {
+			return nil, fmt.Errorf("ixdisk: LoadBlocks: invalid sequence range [%d,%d) of %d",
+				r.Lo, r.Hi, b.NumSeqs())
+		}
+	}
+	path := s.Path(b, opts)
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSizeV3)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("ixdisk: %w: %v", ErrTruncated, err)
+	}
+	if v, err := fileVersion(hdr); err != nil {
+		return nil, err
+	} else if v != version3 {
+		// Legacy monolithic file: no blocks to select from. Serve the
+		// whole index; the exact Load also heals it to v3.
+		return s.Load(b, opts)
+	}
+	h, err := decodeHeaderV3(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, err
+	}
+	ftr, err := readFooterAt(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	if err := ftr.checkExactBank(b); err != nil {
+		return nil, err
+	}
+	var blocks []index.BlockParts
+	for _, e := range ftr.dir {
+		hit := false
+		for _, r := range ranges {
+			if int(e.seqLo) < r.Hi && int(e.seqHi) > r.Lo {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		buf := make([]byte, e.length)
+		if _, err := f.ReadAt(buf, int64(e.offset)); err != nil {
+			return nil, fmt.Errorf("ixdisk: %w: reading block at %d: %v", ErrTruncated, e.offset, err)
+		}
+		bp, err := decodeBlock(buf, e, false)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, bp)
+	}
+	s.blockLoads.Add(int64(len(blocks)))
+	ix, err := index.FromBlocksPartial(b, h.indexOptions(), blocks)
+	if err != nil {
+		return nil, err
+	}
+	touchFile(path)
+	return &ixcache.Prepared{Bank: b, Ix: ix}, nil
+}
+
+// AppendBlock persists p — a prepared index whose bank grew from a
+// previously stored prefix of oldNumSeqs sequences — by the O(suffix)
+// route: one block built over the appended suffix is written over the
+// stored file's footer, a fresh footer follows, and the file is
+// renamed to the grown bank's key path. The stored prefix's path is
+// derived from the grown bank alone (its first oldNumSeqs sequences
+// are the old bank by definition), so no directory scan is needed.
+// When no appendable v3 file exists — never stored, corrupted, or a
+// legacy v2 file — it degrades to a full Save, so the call is always
+// as durable as Save. Policy applies exactly as in Save.
+func (s *DirStore) AppendBlock(p *ixcache.Prepared, oldNumSeqs int) error {
+	if p == nil || p.Bank == nil || p.Ix == nil || p.Ix.Bank != p.Bank {
+		return errors.New("ixdisk: AppendBlock: inconsistent prepared value")
+	}
+	b := p.Bank
+	opts := p.Ix.Options()
+	k := oldNumSeqs
+	if k < 1 || k >= b.NumSeqs() {
+		return fmt.Errorf("ixdisk: AppendBlock: old sequence count %d of %d", k, b.NumSeqs())
+	}
+	s.mu.Lock()
+	pol := s.policy
+	isDB := s.dbBanks[b]
+	gcCfg := s.gcCfg
+	s.mu.Unlock()
+	if !pol.allows(b, isDB) {
+		s.savesDeclined.Add(1)
+		return fmt.Errorf("ixdisk: AppendBlock: bank %q (%d bases): %w",
+			b.Name, b.TotalBases(), ixcache.ErrSaveDeclined)
+	}
+
+	oldDataLen := b.PrefixLen(k)
+	oldCRC := crc64.Checksum(b.Data[:oldDataLen], crc64Table)
+	oldPath := s.keyPath(b.Name, oldCRC, uint64(oldDataLen), uint32(k), opts)
+	ftr, err := appendableFooter(oldPath, opts, b, k)
+	if err != nil {
+		// No in-place target; a full save is the durable equivalent.
+		return s.Save(p)
+	}
+	suffix, err := index.BuildBlock(b, opts, k, b.NumSeqs())
+	if err != nil {
+		return s.Save(p)
+	}
+	exactPath := s.Path(b, opts)
+	if err := appendBlockAt(oldPath, exactPath, b, &suffix, ftr); err != nil {
+		return s.Save(p)
+	}
+	s.blockAppends.Add(1)
+	touchFile(exactPath)
+	if gcCfg.MaxBytes > 0 || gcCfg.MaxAge > 0 {
+		_, _ = s.GC()
+	}
+	return nil
+}
+
+// appendableFooter checks that the file at path is a v3 file recording
+// exactly the first k sequences of b under the same options, and
+// returns its parsed footer — the precondition for an in-place append.
+func appendableFooter(path string, opts index.Options, b *bank.Bank, k int) (*footerV3, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSizeV3)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("ixdisk: %w: %v", ErrTruncated, err)
+	}
+	h, err := decodeHeaderV3(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, err
+	}
+	ftr, err := readFooterAt(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	if int(ftr.numSeqs) != k || ftr.dataLen != uint64(b.PrefixLen(k)) {
+		return nil, fmt.Errorf("ixdisk: %w: stored file records %d sequences/%d bytes, expected prefix is %d/%d",
+			ErrKeyMismatch, ftr.numSeqs, ftr.dataLen, k, b.PrefixLen(k))
+	}
+	if err := ftr.checkPrefixSums(b, k); err != nil {
+		return nil, err
+	}
+	return ftr, nil
+}

@@ -12,42 +12,68 @@ import (
 	"repro/internal/seed"
 )
 
-// fuzzSeedFile builds the canonical fuzz fixture: a small bank, its
-// built index, and the valid .orix v2 bytes Save produces for it. Every
-// fuzz iteration validates arbitrary mutations of this frame against
-// the same (bank, options) identity the seed was saved under.
-func fuzzSeedFile(tb testing.TB) ([]byte, *bank.Bank, index.Options) {
+// fuzzSeedFile builds the canonical fuzz fixtures: a small bank, its
+// built index, and the valid .orix bytes both writers produce for it —
+// the current block-structured v3 frame and the legacy monolithic v2
+// frame, since both readers stay live. Every fuzz iteration validates
+// arbitrary mutations of these frames against the same (bank, options)
+// identity the seeds were saved under.
+func fuzzSeedFile(tb testing.TB) (v3, v2 []byte, b *bank.Bank, opts index.Options) {
 	tb.Helper()
-	b := genBank(tb, "fz", 1024)
-	opts := index.Options{W: 8}
-	path := filepath.Join(tb.TempDir(), "seed"+FileExt)
-	if err := Save(path, ixcache.Prepare(b, opts)); err != nil {
+	b = genBank(tb, "fz", 1024)
+	opts = index.Options{W: 8}
+	p := ixcache.Prepare(b, opts)
+	dir := tb.TempDir()
+	v3path := filepath.Join(dir, "seed3"+FileExt)
+	// Cut small so the v3 seed is multi-block: the directory, the
+	// inter-block boundaries, and the footer all get fuzz coverage.
+	if err := SaveBlocks(v3path, p, 2); err != nil {
 		tb.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	v2path := filepath.Join(dir, "seed2"+FileExt)
+	if err := saveV2(v2path, p); err != nil {
+		tb.Fatal(err)
+	}
+	v3, err := os.ReadFile(v3path)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return data, b, opts
+	v2, err = os.ReadFile(v2path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v3, v2, b, opts
 }
 
-// addFrameSeeds seeds the corpus with the valid frame and the mutation
-// classes the reader's validation ladder distinguishes: truncations at
-// every boundary the header declares, bit-flips in the magic, version,
-// section-length table, body, and trailing checksum.
-func addFrameSeeds(f *testing.F, valid []byte) {
+// addFrameSeeds seeds the corpus with both valid frames and the
+// mutation classes the readers' validation ladders distinguish:
+// truncations at every framing boundary, bit-flips in the magics,
+// versions, length tables, bodies, and checksums of each format.
+func addFrameSeeds(f *testing.F, v3, v2 []byte) {
 	f.Add([]byte{})
-	f.Add(valid)
-	f.Add(valid[:headerSize/2])
-	f.Add(valid[:headerSize])
-	f.Add(valid[:len(valid)-1])
-	f.Add(append(bytes.Clone(valid), 0))
-	for _, off := range []int{0, 8, 12, 88, headerSize + 1, len(valid) - 1} {
-		if off < len(valid) {
-			mut := bytes.Clone(valid)
-			mut[off] ^= 0x40
-			f.Add(mut)
-		}
+	for _, valid := range [][]byte{v3, v2} {
+		f.Add(valid)
+		f.Add(valid[:len(valid)-1])
+		f.Add(append(bytes.Clone(valid), 0))
+	}
+	// v2 frame: magic, version, section-length table, header boundary.
+	f.Add(v2[:headerSize/2])
+	f.Add(v2[:headerSize])
+	for _, off := range []int{0, 8, 12, 88, headerSize + 1, len(v2) - 1} {
+		mut := bytes.Clone(v2)
+		mut[off] ^= 0x40
+		f.Add(mut)
+	}
+	// v3 frame: header CRC, first block header, block body, footer
+	// directory region, and the fixed trailer (footerCRC, footerLen,
+	// endMagic).
+	f.Add(v3[:headerSizeV3])
+	f.Add(v3[:headerSizeV3+blockHdrSize])
+	for _, off := range []int{8, 44, headerSizeV3 + 1, headerSizeV3 + blockHdrSize,
+		len(v3) - trailerSize, len(v3) - 12, len(v3) - 8, len(v3) - dirEntSize - trailerSize} {
+		mut := bytes.Clone(v3)
+		mut[off] ^= 0x40
+		f.Add(mut)
 	}
 }
 
@@ -83,8 +109,8 @@ func loadInvariants(t *testing.T, p *ixcache.Prepared, b *bank.Bank, opts index.
 // may be rejected with an error; none may panic, and an accepted input
 // must yield a structurally sound index.
 func FuzzLoad(f *testing.F) {
-	valid, b, opts := fuzzSeedFile(f)
-	addFrameSeeds(f, valid)
+	v3, v2, b, opts := fuzzSeedFile(f)
+	addFrameSeeds(f, v3, v2)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "f"+FileExt)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -102,8 +128,8 @@ func FuzzLoad(f *testing.F) {
 // no-panic/sound-on-success contract, plus the mapping must close
 // cleanly whatever the parse did.
 func FuzzLoadMapped(f *testing.F) {
-	valid, b, opts := fuzzSeedFile(f)
-	addFrameSeeds(f, valid)
+	v3, v2, b, opts := fuzzSeedFile(f)
+	addFrameSeeds(f, v3, v2)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "f"+FileExt)
 		if err := os.WriteFile(path, data, 0o644); err != nil {

@@ -6,31 +6,29 @@
 // index aligners treat their index — a database file built once per
 // bank, not a per-run allocation.
 //
-// # File format (version 2)
+// # File formats
 //
-// One file holds one (bank, options) build, little-endian throughout
-// (DESIGN.md §7 has the byte-layout diagram):
+// The current format is version 3 — block-structured: an options-key
+// header, per-sequence-group CSR blocks each carrying its own CRC-32C,
+// and a footer holding the bank identity (content CRC-64, per-sequence
+// checksum vector) plus a directory of block offsets and ranges. The
+// full layout, append discipline, and partial-load rules live in v3.go
+// and DESIGN.md §7. The structure buys three things the monolithic
+// layout could not offer: appending to a bank writes exactly one new
+// block plus a footer (O(suffix), the file is never rewritten), a bank
+// that is a block-boundary prefix of a stored file loads by reading
+// only its covering blocks, and a fleet worker can hold a partial
+// index (DirStore.LoadBlocks).
 //
-//	magic "ORISIXDB", version, header size
-//	identity key: bank content CRC-64 + data length + sequence count,
-//	              W, SampleStep, SamplePhase, dust on/window/threshold
-//	counters: Indexed, MaskedOut, SampledOut
-//	section lengths, then the seven sections: SeqSums (per-sequence
-//	CRC-64s, 8-byte elements) followed by the six CSR sections as flat
-//	4-byte arrays: Starts, Pos, Codes, OccSeq, OccLo, OccHi
-//	trailing CRC-32C over everything before it
-//
-// The header is 144 bytes, the SeqSums section is 8-byte elements, and
-// every CSR element is 4 bytes, so all sections are at least 4-byte
-// aligned from any page-aligned base — which is what lets LoadMapped
-// alias the mmap'd CSR sections as []int32 with zero copying. Load is
-// the strict portable reader: it validates the same invariants and
-// copies the sections into fresh heap slices.
-//
-// Version 2 added the SeqSums section (and grew the header by one
-// section length). Version-1 files are rejected with ErrVersion like
-// any other unknown version — the store heals them by rebuild — rather
-// than being read without the per-sequence identity they lack.
+// Version 2 — the monolithic layout: one 144-byte header carrying the
+// identity key and counters, seven whole-bank sections (SeqSums, then
+// the six CSR arrays), one trailing whole-file CRC-32C — remains fully
+// readable. An exact load of a v2 file heals it by rewrite: the
+// validated index is saved back in v3 under the same path, policy
+// permitting. saveV2 keeps the v2 writer byte-exact for the migration
+// tests. Version-1 files are rejected with ErrVersion like any other
+// unknown version — the store heals them by rebuild — rather than
+// being read without the per-sequence identity they lack.
 //
 // # Invalidation and append-aware reuse
 //
@@ -42,14 +40,15 @@
 // (ixcache's disk tier) falls back to a fresh build and overwrites the
 // bad file, healing the store in place.
 //
-// The SeqSums section makes identity finer than all-or-nothing: when
-// DirStore misses exactly, it scans the directory for a file whose
-// recorded bank is a strict prefix of the requesting bank — same
-// options key, fewer sequences, per-sequence checksums matching the
-// request's prefix — and satisfies the miss through
-// index.ExtendFromParts, scanning only the appended suffix. The
-// extended index is saved back under its exact key, so a grown bank
-// pays the suffix once and exact-hits ever after.
+// The per-sequence checksum vector makes identity finer than
+// all-or-nothing: when DirStore misses exactly, it scans the directory
+// (metadata-only, via Probe) for a file recording a relative of the
+// requesting bank, in either direction. A stored file recording the
+// first k sequences of the request is completed by building one block
+// over the appended suffix and appended in place (prefix.go); a stored
+// file recording a larger bank of which the request is a block-boundary
+// prefix is served by loading only the covering blocks. Either way a
+// grown bank pays the suffix once and exact-hits ever after.
 package ixdisk
 
 import (
@@ -173,13 +172,25 @@ func (h *header) indexOptions() index.Options {
 	return o
 }
 
-// Save writes p's index to path in the current format version, atomically: the
-// bytes go to a temp file in the same directory which is renamed over
-// path only after a complete write, so a concurrent reader (or a
-// crashed writer) can never observe a half-written file under the
-// final name. There is no fsync — a torn file after power loss is
-// caught by the checksum and rebuilt, the store-heals-itself property.
+// Save writes p's index to path in the current format version (v3,
+// block-structured — see v3.go), atomically: the bytes go to a temp
+// file in the same directory which is renamed over path only after a
+// complete write, so a concurrent reader (or a crashed writer) can
+// never observe a half-written file under the final name. There is no
+// fsync — a torn file after power loss is caught by the checksums and
+// rebuilt, the store-heals-itself property.
 func Save(path string, p *ixcache.Prepared) error {
+	return SaveBlocks(path, p, DefaultBlockSeqs)
+}
+
+// SaveLegacyV2 writes the legacy version-2 monolithic layout. The
+// current writer is v3 (Save); this one is kept byte-exact so
+// migration tests — here and in dependent packages — can manufacture
+// real v2 files and prove the read-compat and heal-by-rewrite paths
+// against them. It has no production caller.
+func SaveLegacyV2(path string, p *ixcache.Prepared) error { return saveV2(path, p) }
+
+func saveV2(path string, p *ixcache.Prepared) error {
 	if p == nil || p.Bank == nil || p.Ix == nil || p.Ix.Bank != p.Bank {
 		return errors.New("ixdisk: Save: inconsistent prepared value")
 	}
@@ -514,24 +525,79 @@ func (h *header) prepared(b *bank.Bank, starts, pos []int32, codes []seed.Code,
 	return &ixcache.Prepared{Bank: b, Ix: ix}, nil
 }
 
+// fileVersion sniffs the format version from a file's first bytes so
+// the readers can dispatch between the v2 and v3 parsers.
+func fileVersion(buf []byte) (uint32, error) {
+	if len(buf) < 12 {
+		return 0, fmt.Errorf("ixdisk: %w: %d bytes is below the 12-byte version prefix",
+			ErrTruncated, len(buf))
+	}
+	if string(buf[0:8]) != magic {
+		return 0, fmt.Errorf("ixdisk: %w: got %q", ErrBadMagic, buf[0:8])
+	}
+	return binary.LittleEndian.Uint32(buf[8:]), nil
+}
+
+// loadInfo reports what a load actually did, for the store's
+// block-granular accounting.
+type loadInfo struct {
+	version int
+	blocks  int // v3 blocks decoded and CRC-checked
+}
+
+// loadBuf parses a complete in-memory file image for exactly (b, opts),
+// dispatching on the sniffed version. alias requests zero-copy section
+// views (v3 single-block files and v2 files only); the second return
+// reports whether aliasing actually happened — when false the result
+// owns its memory and buf may be unmapped.
+func loadBuf(buf []byte, b *bank.Bank, opts index.Options, alias bool) (*ixcache.Prepared, bool, loadInfo, error) {
+	v, err := fileVersion(buf)
+	if err != nil {
+		return nil, false, loadInfo{}, err
+	}
+	if v == version3 {
+		p, blocks, aliased, err := loadV3(buf, b, opts, alias)
+		return p, aliased, loadInfo{version: version3, blocks: blocks}, err
+	}
+	h, s, err := parseAndValidate(buf, b, opts)
+	if err != nil {
+		return nil, false, loadInfo{}, err
+	}
+	info := loadInfo{version: version}
+	if alias {
+		p, err := h.prepared(b,
+			aliasWords[int32](s.starts), aliasWords[int32](s.pos),
+			aliasWords[seed.Code](s.codes), aliasWords[int32](s.occSeq),
+			aliasWords[int32](s.occLo), aliasWords[int32](s.occHi))
+		return p, true, info, err
+	}
+	p, err := h.prepared(b,
+		decodeWords[int32](s.starts), decodeWords[int32](s.pos),
+		decodeWords[seed.Code](s.codes), decodeWords[int32](s.occSeq),
+		decodeWords[int32](s.occLo), decodeWords[int32](s.occHi))
+	return p, false, info, err
+}
+
 // Load reads, validates, and copies an index file into a fresh
 // Prepared for bank b. It is the strict portable reader: every framing,
 // checksum, structural, and key invariant is checked before any slice
 // is handed to the engines, and the returned index owns its memory
-// (nothing aliases the file).
+// (nothing aliases the file). It reads both the current v3 layout and
+// legacy v2 files.
 func Load(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
+	p, _, err := loadVersioned(path, b, opts)
+	return p, err
+}
+
+// loadVersioned is Load plus the version/block accounting DirStore
+// needs for its counters and the v2 heal-by-rewrite decision.
+func loadVersioned(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, loadInfo, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, loadInfo{}, err
 	}
-	h, s, err := parseAndValidate(buf, b, opts)
-	if err != nil {
-		return nil, err
-	}
-	return h.prepared(b,
-		decodeWords[int32](s.starts), decodeWords[int32](s.pos),
-		decodeWords[seed.Code](s.codes), decodeWords[int32](s.occSeq),
-		decodeWords[int32](s.occLo), decodeWords[int32](s.occHi))
+	p, _, info, err := loadBuf(buf, b, opts, false)
+	return p, info, err
 }
 
 // Mapping owns the mmap'd region backing a LoadMapped index. Close
@@ -567,51 +633,64 @@ func (m *Mapping) Mapped() bool { return m.data != nil }
 // checksum pass does touch each page once, the price of strictness).
 //
 // On hosts where aliasing is impossible (no mmap, or big-endian byte
-// order) it falls back to Load and returns a non-mapped Mapping.
+// order) it falls back to Load and returns a non-mapped Mapping. v3
+// files alias when they hold a single block (the common fresh-save
+// shape); multi-block v3 files are merged into fresh arrays and the
+// returned Mapping is non-mapped, so callers need no version logic.
 func LoadMapped(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, *Mapping, error) {
+	p, m, _, err := loadMappedVersioned(path, b, opts)
+	return p, m, err
+}
+
+// loadMappedVersioned is LoadMapped plus the load accounting.
+func loadMappedVersioned(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, *Mapping, loadInfo, error) {
 	if !mmapSupported || !nativeLittleEndian {
-		p, err := Load(path, b, opts)
+		p, info, err := loadVersioned(path, b, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, info, err
 		}
-		return p, &Mapping{}, nil
+		return p, &Mapping{}, info, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, loadInfo{}, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, loadInfo{}, err
 	}
 	if fi.Size() > math.MaxInt32*8 {
-		return nil, nil, fmt.Errorf("ixdisk: %w: file is %d bytes", ErrTruncated, fi.Size())
+		return nil, nil, loadInfo{}, fmt.Errorf("ixdisk: %w: file is %d bytes", ErrTruncated, fi.Size())
 	}
 	if fi.Size() == 0 {
 		// mmap of an empty file is an error on most platforms; report
 		// the truncation directly.
-		return nil, nil, fmt.Errorf("ixdisk: %w: file is empty", ErrTruncated)
+		return nil, nil, loadInfo{}, fmt.Errorf("ixdisk: %w: file is empty", ErrTruncated)
 	}
 	data, err := mmapFile(f, int(fi.Size()))
 	if err != nil {
-		return nil, nil, fmt.Errorf("ixdisk: mmap %s: %w", path, err)
+		return nil, nil, loadInfo{}, fmt.Errorf("ixdisk: mmap %s: %w", path, err)
 	}
 	m := &Mapping{data: data}
-	h, s, err := parseAndValidate(data, b, opts)
+	p, aliased, info, err := loadBuf(data, b, opts, true)
 	if err != nil {
 		m.Close()
-		return nil, nil, err
+		return nil, nil, info, err
 	}
-	p, err := h.prepared(b,
-		aliasWords[int32](s.starts), aliasWords[int32](s.pos),
-		aliasWords[seed.Code](s.codes), aliasWords[int32](s.occSeq),
-		aliasWords[int32](s.occLo), aliasWords[int32](s.occHi))
-	if err != nil {
+	if !aliased {
+		// The index owns copies (multi-block v3 merge); drop the mapping.
 		m.Close()
-		return nil, nil, err
+		return p, &Mapping{}, info, nil
 	}
-	return p, m, nil
+	return p, m, info, nil
+}
+
+// touchFile refreshes a file's mtime so the GC's oldest-first eviction
+// approximates LRU over actual use. Best-effort.
+func touchFile(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 }
 
 // sanitizeName keeps a bank name filesystem-safe for DirStore paths.
@@ -656,20 +735,23 @@ type DirStore struct {
 	dir    string
 	mapped bool
 
-	mu       sync.Mutex
-	policy   SavePolicy
-	gcCfg    GCConfig
-	dbBanks  map[*bank.Bank]bool
-	dbOrder  []*bank.Bank
-	bankCRCs map[*bank.Bank]uint64
-	crcOrder []*bank.Bank
-	loaded   map[string]*loadedEntry
-	ldOrder  []string
-	maps     []*Mapping
+	mu        sync.Mutex
+	policy    SavePolicy
+	gcCfg     GCConfig
+	blockSeqs int
+	dbBanks   map[*bank.Bank]bool
+	dbOrder   []*bank.Bank
+	bankCRCs  map[*bank.Bank]uint64
+	crcOrder  []*bank.Bank
+	loaded    map[string]*loadedEntry
+	ldOrder   []string
+	maps      []*Mapping
 
 	extends       atomic.Int64
 	savesDeclined atomic.Int64
 	writeBackErrs atomic.Int64
+	blockLoads    atomic.Int64
+	blockAppends  atomic.Int64
 }
 
 // memoBound caps the per-bank and per-path memo maps. A long-lived
@@ -723,6 +805,16 @@ func (s *DirStore) SetMapped(on bool) {
 	s.mu.Unlock()
 }
 
+// SetBlockSeqs sets the sequence-group size fresh saves are cut into
+// (non-positive restores DefaultBlockSeqs). Smaller groups give finer
+// partial-load granularity at the cost of per-block overhead. Call
+// before sharing the store.
+func (s *DirStore) SetBlockSeqs(n int) {
+	s.mu.Lock()
+	s.blockSeqs = n
+	s.mu.Unlock()
+}
+
 // bankChecksum caches the O(N) content checksum per bank value, so a
 // store consulted for many (bank, options) keys pays it once per bank.
 // The memo is bounded (memoBound, FIFO): under query-bank churn in a
@@ -753,10 +845,17 @@ func (s *DirStore) bankChecksum(b *bank.Bank) uint64 {
 // tests and operational scripts can inspect or corrupt specific
 // entries.
 func (s *DirStore) Path(b *bank.Bank, opts index.Options) string {
+	return s.keyPath(b.Name, s.bankChecksum(b), uint64(len(b.Data)), uint32(b.NumSeqs()), opts)
+}
+
+// keyPath is Path for an explicit identity — used when the bank value
+// for the identity does not exist (AppendBlock derives its stored
+// prefix's path from the grown bank alone).
+func (s *DirStore) keyPath(name string, bankCRC, dataLen uint64, numSeqs uint32, opts index.Options) string {
 	var key [keySize]byte
-	packKey(key[:], s.bankChecksum(b), uint64(len(b.Data)), uint32(b.NumSeqs()), opts)
+	packKey(key[:], bankCRC, dataLen, numSeqs, opts)
 	h := crc64.Checksum(key[:], crc64Table)
-	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x%s", sanitizeName(b.Name), h, FileExt))
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x%s", sanitizeName(name), h, FileExt))
 }
 
 // Load implements ixcache.Store: (nil, nil) when no file exists for the
@@ -781,11 +880,12 @@ func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, er
 
 	var p *ixcache.Prepared
 	var m *Mapping
+	var info loadInfo
 	var err error
 	if mapped {
-		p, m, err = LoadMapped(path, b, opts)
+		p, m, info, err = loadMappedVersioned(path, b, opts)
 	} else {
-		p, err = Load(path, b, opts)
+		p, info, err = loadVersioned(path, b, opts)
 	}
 	if errors.Is(err, fs.ErrNotExist) {
 		return s.loadViaPrefix(b, opts, path)
@@ -793,11 +893,21 @@ func (s *DirStore) Load(b *bank.Bank, opts index.Options) (*ixcache.Prepared, er
 	if err != nil {
 		return nil, err
 	}
+	s.blockLoads.Add(int64(info.blocks))
 	// Touch the file so the GC's size-cap eviction (oldest mtime first)
 	// approximates LRU over actual use, not save order. Best-effort.
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	s.memoize(path, b, p, m)
+	if info.version == version {
+		// Heal-by-rewrite: a legacy v2 file served this load, so persist
+		// the validated index in the block-structured v3 layout (same
+		// path — the key is unchanged). Best-effort and policy-gated like
+		// any save; until it succeeds the v2 file keeps serving loads.
+		if err := s.Save(p); err != nil && !errors.Is(err, ixcache.ErrSaveDeclined) {
+			s.writeBackErrs.Add(1)
+		}
+	}
 	return p, nil
 }
 
@@ -839,13 +949,14 @@ func (s *DirStore) Save(p *ixcache.Prepared) error {
 	pol := s.policy
 	isDB := s.dbBanks[p.Bank]
 	gcCfg := s.gcCfg
+	blockSeqs := s.blockSeqs
 	s.mu.Unlock()
 	if !pol.allows(p.Bank, isDB) {
 		s.savesDeclined.Add(1)
 		return fmt.Errorf("ixdisk: DirStore.Save: bank %q (%d bases): %w",
 			p.Bank.Name, p.Bank.TotalBases(), ixcache.ErrSaveDeclined)
 	}
-	if err := Save(s.Path(p.Bank, p.Ix.Options()), p); err != nil {
+	if err := SaveBlocks(s.Path(p.Bank, p.Ix.Options()), p, blockSeqs); err != nil {
 		return err
 	}
 	if gcCfg.MaxBytes > 0 || gcCfg.MaxAge > 0 {

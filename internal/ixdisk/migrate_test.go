@@ -1,0 +1,579 @@
+package ixdisk
+
+// The v2→v3 migration matrix: legacy v2 files stay readable, exact
+// loads heal them by rewrite to v3, prefix extensions from v2 bases
+// write back v3, and the v3-specific behaviors — O(suffix) in-place
+// appends, partial block-boundary loads, block-granular API — hold the
+// byte-identity invariant against cold builds throughout. Hostile v3
+// block footers are rejected by both readers.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bank"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+)
+
+// TestV2ReadCompat: files written by the byte-exact legacy writer load
+// through both readers, identical to a cold build, across the option
+// matrix.
+func TestV2ReadCompat(t *testing.T) {
+	b := genBank(t, "v2compat", 4096)
+	for name, opts := range optionVariants() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ix"+FileExt)
+			built := ixcache.Prepare(b, opts)
+			if err := saveV2(path, built); err != nil {
+				t.Fatal(err)
+			}
+			info, err := Probe(path)
+			if err != nil || info.Version != version {
+				t.Fatalf("Probe of v2 file: version %v, err %v", info, err)
+			}
+			loaded, err := Load(path, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIndexEqual(t, built.Ix, loaded.Ix)
+			mapped, m, err := LoadMapped(path, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			assertIndexEqual(t, built.Ix, mapped.Ix)
+		})
+	}
+}
+
+// TestV2HealByRewrite: a DirStore exact load of a v2 file serves it
+// and rewrites it as v3 under the same path; the healed file serves
+// the identical index.
+func TestV2HealByRewrite(t *testing.T) {
+	dir := t.TempDir()
+	b := genBank(t, "heal", 4096)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	built := ixcache.Prepare(b, opts)
+	path := store.Path(b, opts)
+	if err := saveV2(path, built); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := store.Load(b, opts)
+	if err != nil || p == nil {
+		t.Fatalf("exact load of v2 file: %v, %v", p, err)
+	}
+	assertIndexEqual(t, built.Ix, p.Ix)
+
+	info, err := Probe(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != version3 {
+		t.Fatalf("after heal the file is version %d, want %d", info.Version, version3)
+	}
+	if len(info.Blocks) == 0 {
+		t.Fatal("healed v3 file has no block directory")
+	}
+
+	// A fresh store serves the healed file, still byte-identical.
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	b2 := genBank(t, "heal", 4096)
+	p2, err := store2.Load(b2, opts)
+	if err != nil || p2 == nil {
+		t.Fatalf("load of healed file: %v, %v", p2, err)
+	}
+	assertIndexEqual(t, ixcache.Prepare(b2, opts).Ix, p2.Ix)
+}
+
+// TestV2PrefixExtendWritesV3: an exact miss satisfied by extending a
+// stored v2 prefix writes the completed index back as v3 — the heal
+// path for prefix files.
+func TestV2PrefixExtendWritesV3(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecs(t, 600, 5)
+	short := bank.New("db", recs[:4])
+	grown := bank.New("db", recs)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := saveV2(store.Path(short, opts), ixcache.Prepare(short, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := store.Load(grown, opts)
+	if err != nil || p == nil {
+		t.Fatalf("extend from v2 prefix: %v, %v", p, err)
+	}
+	if store.Extends() != 1 {
+		t.Errorf("Extends = %d, want 1", store.Extends())
+	}
+	if store.BlockAppends() != 0 {
+		t.Errorf("BlockAppends = %d, want 0 (v2 base cannot be appended in place)", store.BlockAppends())
+	}
+	assertIndexEqual(t, ixcache.Prepare(grown, opts).Ix, p.Ix)
+
+	info, err := Probe(store.Path(grown, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != version3 {
+		t.Fatalf("write-back is version %d, want %d", info.Version, version3)
+	}
+}
+
+// TestV3AppendInPlace is the tentpole byte-level invariant: completing
+// a stored v3 prefix appends exactly one block — the stored file's
+// header and blocks are an unchanged byte prefix of the result, the
+// directory grows by one entry, and the file moves to the grown bank's
+// key path.
+func TestV3AppendInPlace(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecs(t, 600, 6)
+	short := bank.New("db", recs[:4])
+	grown := bank.New("db", recs)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.SetBlockSeqs(2) // 4 sequences → 2 stored blocks
+	if err := store.Save(ixcache.Prepare(short, opts)); err != nil {
+		t.Fatal(err)
+	}
+	oldPath := store.Path(short, opts)
+	oldBytes, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldInfo, err := Probe(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldInfo.Blocks) != 2 {
+		t.Fatalf("stored file has %d blocks, want 2", len(oldInfo.Blocks))
+	}
+
+	p, err := store.Load(grown, opts)
+	if err != nil || p == nil {
+		t.Fatalf("append load: %v, %v", p, err)
+	}
+	if store.Extends() != 1 || store.BlockAppends() != 1 {
+		t.Errorf("Extends/BlockAppends = %d/%d, want 1/1", store.Extends(), store.BlockAppends())
+	}
+	assertIndexEqual(t, ixcache.Prepare(grown, opts).Ix, p.Ix)
+
+	if _, err := os.Stat(oldPath); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("old path still exists after in-place append rename: %v", err)
+	}
+	newPath := store.Path(grown, opts)
+	newBytes, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newInfo, err := Probe(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newInfo.Blocks) != len(oldInfo.Blocks)+1 {
+		t.Errorf("append grew the directory from %d to %d blocks, want exactly one more",
+			len(oldInfo.Blocks), len(newInfo.Blocks))
+	}
+	if !bytes.Equal(newBytes[:oldInfo.PayloadEnd], oldBytes[:oldInfo.PayloadEnd]) {
+		t.Error("stored prefix bytes changed across the append")
+	}
+	suffixBytes := int64(len(newBytes)) - oldInfo.PayloadEnd
+	if suffixBytes <= 0 || suffixBytes >= int64(len(oldBytes)) {
+		t.Errorf("append wrote %d bytes beyond the old payload (old file: %d) — not O(suffix)",
+			suffixBytes, len(oldBytes))
+	}
+
+	// The appended file exact-hits in a fresh store, byte-identical.
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	grown2 := bank.New("db", recs)
+	p2, err := store2.Load(grown2, opts)
+	if err != nil || p2 == nil {
+		t.Fatalf("warm load of appended file: %v, %v", p2, err)
+	}
+	if store2.Extends() != 0 {
+		t.Errorf("second store extended (%d) instead of exact-hitting", store2.Extends())
+	}
+	assertIndexEqual(t, ixcache.Prepare(grown2, opts).Ix, p2.Ix)
+}
+
+// TestV3PartialLoad: a bank that is a block-boundary prefix of a
+// stored file is served by reading only the covering blocks — fewer
+// block loads than the file holds, no build, no extension, identical
+// to a cold build of the prefix bank.
+func TestV3PartialLoad(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecs(t, 600, 6)
+	prefix := bank.New("db", recs[:4])
+	grown := bank.New("db", recs)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.SetBlockSeqs(2) // 6 sequences → 3 blocks, boundary at 4
+	if err := store.Save(ixcache.Prepare(grown, opts)); err != nil {
+		t.Fatal(err)
+	}
+	total := 3
+	if info, err := Probe(store.Path(grown, opts)); err != nil || len(info.Blocks) != total {
+		t.Fatalf("stored file: %+v, %v — want %d blocks", info, err, total)
+	}
+
+	p, err := store.Load(prefix, opts)
+	if err != nil || p == nil {
+		t.Fatalf("partial load: %v, %v", p, err)
+	}
+	if got := store.BlockLoads(); got != 2 {
+		t.Errorf("BlockLoads = %d, want 2 (of %d on disk)", got, total)
+	}
+	if store.Extends() != 0 || store.BlockAppends() != 0 {
+		t.Errorf("partial load counted as extension: Extends=%d BlockAppends=%d",
+			store.Extends(), store.BlockAppends())
+	}
+	assertIndexEqual(t, ixcache.Prepare(prefix, opts).Ix, p.Ix)
+
+	// Not a boundary: a 3-sequence prefix falls between blocks and must
+	// miss cleanly (build fallback), never serve a wrong index.
+	odd := bank.New("db", recs[:3])
+	pOdd, err := store.Load(odd, opts)
+	if err != nil {
+		t.Fatalf("non-boundary prefix load errored: %v", err)
+	}
+	if pOdd != nil {
+		t.Fatal("non-boundary prefix was served from blocks")
+	}
+}
+
+// TestLoadBlocksPartialRanges: the block-aware store API returns a
+// structurally valid partial index holding exactly the requested
+// ranges' blocks.
+func TestLoadBlocksPartialRanges(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecs(t, 600, 6)
+	b := bank.New("db", recs)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.SetBlockSeqs(2)
+	if err := store.Save(ixcache.Prepare(b, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := store.LoadBlocks(b, opts, []ixcache.SeqRange{{Lo: 2, Hi: 4}})
+	if err != nil || p == nil {
+		t.Fatalf("LoadBlocks: %v, %v", p, err)
+	}
+	if got := store.BlockLoads(); got != 1 {
+		t.Errorf("BlockLoads = %d, want 1", got)
+	}
+	// The partial index holds exactly the middle block's occurrences:
+	// every occurrence's sequence is in [2, 4), and the count matches
+	// the cold build restricted to that Data range.
+	full := ixcache.Prepare(b, opts).Ix
+	lo, hi := int32(b.PrefixLen(2)), int32(b.PrefixLen(4))
+	want := 0
+	for _, pos := range full.Parts().Pos {
+		if pos >= lo && pos < hi {
+			want++
+		}
+	}
+	parts := p.Ix.Parts()
+	if parts.Indexed != want {
+		t.Errorf("partial index holds %d occurrences, the range holds %d", parts.Indexed, want)
+	}
+	for _, pos := range parts.Pos {
+		if pos < lo || pos >= hi {
+			t.Fatalf("partial index leaked position %d outside [%d,%d)", pos, lo, hi)
+		}
+	}
+
+	// Full-range request equals the whole index.
+	pAll, err := store.LoadBlocks(b, opts, nil)
+	if err != nil || pAll == nil {
+		t.Fatalf("LoadBlocks(nil): %v, %v", pAll, err)
+	}
+	assertIndexEqual(t, full, pAll.Ix)
+}
+
+// TestAppendBlockAPI: the explicit AppendBlock entry point appends in
+// place when the stored prefix exists and degrades to a full save when
+// it does not.
+func TestAppendBlockAPI(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecs(t, 600, 5)
+	short := bank.New("db", recs[:3])
+	grown := bank.New("db", recs)
+	opts := index.Options{W: 8}
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Save(ixcache.Prepare(short, opts)); err != nil {
+		t.Fatal(err)
+	}
+
+	p := ixcache.Prepare(grown, opts)
+	if err := store.AppendBlock(p, short.NumSeqs()); err != nil {
+		t.Fatal(err)
+	}
+	if store.BlockAppends() != 1 {
+		t.Errorf("BlockAppends = %d, want 1", store.BlockAppends())
+	}
+	loaded, err := Load(store.Path(grown, opts), grown, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexEqual(t, p.Ix, loaded.Ix)
+
+	// No stored prefix for this bank: AppendBlock degrades to Save.
+	other := bank.New("other", recs)
+	pOther := ixcache.Prepare(other, opts)
+	if err := store.AppendBlock(pOther, 3); err != nil {
+		t.Fatal(err)
+	}
+	if store.BlockAppends() != 1 {
+		t.Errorf("BlockAppends = %d after fallback, want still 1", store.BlockAppends())
+	}
+	if _, err := os.Stat(store.Path(other, opts)); err != nil {
+		t.Errorf("fallback full save missing: %v", err)
+	}
+}
+
+// TestHostileV3Files: crafted corruptions of the v3 framing — footer,
+// directory, blocks — are rejected by both readers with the right
+// sentinel, and never crash.
+func TestHostileV3Files(t *testing.T) {
+	b := genBank(t, "hostile3", 2048)
+	opts := index.Options{W: 8}
+	// Multi-block file so directory attacks have room.
+	save := func(t *testing.T) (string, []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "ix"+FileExt)
+		p := ixcache.Prepare(b, opts)
+		var cuts []int
+		for c := 1; c < b.NumSeqs(); c++ {
+			cuts = append(cuts, c)
+		}
+		blocks := index.SplitBlocks(p.Ix, cuts)
+		if len(blocks) < 2 {
+			t.Fatal("need a multi-block file for hostile directory tests")
+		}
+		if err := SaveBlocks(path, p, 1); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, buf
+	}
+
+	footerStart := func(buf []byte) int {
+		flen := binary.LittleEndian.Uint32(buf[len(buf)-12:])
+		return len(buf) - int(flen)
+	}
+
+	cases := map[string]struct {
+		mutate func(t *testing.T, buf []byte) []byte
+		want   error
+	}{
+		"endMagicGone": {func(t *testing.T, buf []byte) []byte {
+			buf[len(buf)-1] ^= 0x40
+			return buf
+		}, ErrTruncated},
+		"truncatedLastBlock": {func(t *testing.T, buf []byte) []byte {
+			// Drop bytes from the middle (the last block region), keeping
+			// the footer: the directory then points past its blocks.
+			fs := footerStart(buf)
+			return append(buf[:fs-16:fs-16], buf[fs:]...)
+		}, ErrTruncated},
+		"footerCRCFlip": {func(t *testing.T, buf []byte) []byte {
+			buf[footerStart(buf)+8] ^= 0x01 // bankCRC byte under the footer CRC
+			return buf
+		}, ErrChecksum},
+		"dirOverlap": {func(t *testing.T, buf []byte) []byte {
+			// Rewrite block 1's directory offset to overlap block 0, then
+			// re-seal the footer CRC so only the structural check can
+			// object.
+			fs := footerStart(buf)
+			ftr, err := parseFooterV3(buf[fs:], int64(len(buf)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			numSeqs := int(ftr.numSeqs)
+			entOff := fs + footerFixed + 8*numSeqs + dirEntSize // entry 1
+			binary.LittleEndian.PutUint64(buf[entOff:], ftr.dir[0].offset)
+			resealFooter(buf, fs)
+			return buf
+		}, ErrTruncated},
+		"dirSeqGap": {func(t *testing.T, buf []byte) []byte {
+			fs := footerStart(buf)
+			ftr, err := parseFooterV3(buf[fs:], int64(len(buf)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			entOff := fs + footerFixed + 8*int(ftr.numSeqs) + dirEntSize
+			binary.LittleEndian.PutUint32(buf[entOff+16:], ftr.dir[1].seqLo+1)
+			resealFooter(buf, fs)
+			return buf
+		}, ErrTruncated},
+		"blockCRCFlip": {func(t *testing.T, buf []byte) []byte {
+			buf[headerSizeV3+blockHdrSize] ^= 0x01 // first section byte of block 0
+			return buf
+		}, ErrChecksum},
+		"blockRangeLie": {func(t *testing.T, buf []byte) []byte {
+			// Block header disagrees with the (resealed) directory.
+			buf[headerSizeV3+8] ^= 0x01 // block 0 seqLo
+			return buf
+		}, ErrChecksum},
+		"headerCRCFlip": {func(t *testing.T, buf []byte) []byte {
+			buf[16] ^= 0x01 // W field under the header CRC
+			return buf
+		}, ErrChecksum},
+		"footerLenZero": {func(t *testing.T, buf []byte) []byte {
+			binary.LittleEndian.PutUint32(buf[len(buf)-12:], 0)
+			return buf
+		}, ErrTruncated},
+		"footerLenHuge": {func(t *testing.T, buf []byte) []byte {
+			binary.LittleEndian.PutUint32(buf[len(buf)-12:], uint32(len(buf)+1024))
+			return buf
+		}, ErrTruncated},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			path, buf := save(t)
+			mutated := tc.mutate(t, buf)
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			loadBoth(t, path, b, opts, tc.want)
+		})
+	}
+}
+
+// resealFooter recomputes the footer CRC after a directory mutation so
+// the structural validators — not the checksum — must catch the lie.
+func resealFooter(buf []byte, fs int) {
+	end := len(buf) - trailerSize
+	binary.LittleEndian.PutUint32(buf[end:], crc32.Checksum(buf[fs:end], crc32Table))
+}
+
+// TestMultiBlockMappedFallback: LoadMapped on a multi-block file
+// returns a valid copied index and a non-mapped Mapping.
+func TestMultiBlockMappedFallback(t *testing.T) {
+	b := genBank(t, "mb", 4096)
+	opts := index.Options{W: 8}
+	path := filepath.Join(t.TempDir(), "ix"+FileExt)
+	built := ixcache.Prepare(b, opts)
+	if err := SaveBlocks(path, built, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, m, err := LoadMapped(path, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Error("multi-block file claimed a live mapping")
+	}
+	assertIndexEqual(t, built.Ix, p.Ix)
+	// Independence: the copied index survives file removal.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	assertIndexEqual(t, built.Ix, p.Ix)
+}
+
+// TestProbeMetadata: the probe reports versions, identity, and block
+// directories without payload access.
+func TestProbeMetadata(t *testing.T) {
+	b := genBank(t, "probe", 2048)
+	opts := index.Options{W: 8}
+	dir := t.TempDir()
+	p := ixcache.Prepare(b, opts)
+
+	v2path := filepath.Join(dir, "v2"+FileExt)
+	if err := saveV2(v2path, p); err != nil {
+		t.Fatal(err)
+	}
+	v3path := filepath.Join(dir, "v3"+FileExt)
+	if err := SaveBlocks(v3path, p, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	sums := b.SeqChecksums()
+	for _, path := range []string{v2path, v3path} {
+		info, err := Probe(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.BankCRC != BankChecksum(b) || info.DataLen != int64(len(b.Data)) ||
+			info.NumSeqs != b.NumSeqs() {
+			t.Errorf("%s: identity %+v does not match bank", path, info)
+		}
+		if !ixcache.SameKey(info.Opts, opts) {
+			t.Errorf("%s: options %+v do not key-match", path, info.Opts)
+		}
+		for i, sum := range sums {
+			if info.SeqSums[i] != sum {
+				t.Fatalf("%s: SeqSums[%d] mismatch", path, i)
+			}
+		}
+	}
+	i2, _ := Probe(v2path)
+	i3, _ := Probe(v3path)
+	if i2.Version != version || i3.Version != version3 {
+		t.Errorf("versions %d/%d, want %d/%d", i2.Version, i3.Version, version, version3)
+	}
+	if i2.Blocks != nil {
+		t.Error("v2 probe invented a block directory")
+	}
+	if len(i3.Blocks) != b.NumSeqs() {
+		t.Errorf("v3 probe found %d blocks, want %d (blockSeqs=1)", len(i3.Blocks), b.NumSeqs())
+	}
+	if i3.PayloadEnd >= fileSize(t, v3path) {
+		t.Error("v3 PayloadEnd not before the footer")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -2,7 +2,6 @@ package ixdisk
 
 import (
 	"errors"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,75 +13,99 @@ import (
 	"repro/internal/seed"
 )
 
-// Append-aware reuse: satisfying an exact miss from a stored prefix.
+// Append-aware reuse: satisfying an exact miss from the bank's lineage.
 //
 // Whole-bank identity makes a growing bank pathological: append one EST
 // run and every cached index of the bank is garbage. The per-sequence
-// checksum vector (format v2) fixes the granularity — a stored file
-// whose recorded sequences are exactly the first k of the requesting
-// bank indexes a byte-identical Data prefix, and bank coordinates are
-// append-stable, so the stored CSR arrays feed index.ExtendFromParts
-// and only the appended suffix is scanned.
+// checksum vector fixes the granularity — and with block-structured v3
+// files the reuse works in both directions:
 //
-// The flow on an exact miss: scan the directory, cheaply probe each
-// .orix header (144 bytes + the checksum vector — no full read, no
-// whole-file CRC), collect prefix-compatible candidates, and try them
-// longest-prefix-first with full validation. The first success is
-// counted under Extends, memoized under the exact key's path, and
-// written back under the exact key (policy permitting) so the next
-// process exact-hits instead of re-extending. Every failure — corrupt
-// candidate, checksum mismatch, hostile content — just drops to the
-// next candidate and ultimately to a clean miss: the build fallback is
-// always sound, so this whole path is opportunistic.
+//   - a stored file recording a *larger* bank of which the requesting
+//     bank is a block-boundary prefix serves the request by loading
+//     only the covering blocks (no build work at all, and appends
+//     always leave a boundary at the pre-append count);
+//   - a stored file recording the first k sequences of the requesting
+//     bank is completed by building one block over the appended suffix
+//     and — policy permitting — appended in place: one new block plus
+//     a rewritten footer, O(suffix) bytes written, never a rewrite of
+//     the stored prefix (legacy v2 prefixes go through
+//     index.ExtendFromParts and a full v3 write-back instead, which
+//     doubles as their heal-by-rewrite).
+//
+// The flow on an exact miss: scan the directory, Probe each candidate's
+// metadata (header + footer — no payload reads), collect compatible
+// candidates, and try them best-first with full validation. Partial
+// loads win over extensions (they cost no build), longer stored
+// prefixes over shorter. Every failure just drops to the next candidate
+// and ultimately to a clean miss: the build fallback is always sound,
+// so this whole path is opportunistic.
 
-// probeResult is one prefix-compatible candidate file.
+// probeResult is one compatible candidate file.
 type probeResult struct {
 	path string
-	k    int // stored sequence count (strictly < the requesting bank's)
+	info *FileInfo
+	k    int  // stored sequence count
+	part bool // stored file is larger; serve b from its leading blocks
 }
 
-// probePrefix cheaply decides whether path could extend to (b, opts):
-// it reads only the header and the per-sequence checksum section and
-// checks the prefix identity. No whole-file checksum — the full load
-// re-validates everything before any byte is trusted.
-func probePrefix(path string, b *bank.Bank, opts index.Options) (int, bool) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, false
+// compatPrefix decides from probed metadata alone whether the file at
+// info could serve (b, opts): either as a partial load (info records a
+// larger bank with a block boundary exactly at b's end, v3 only) or as
+// an extension base (info records a strict prefix of b). The loaders
+// re-validate everything; this only prunes the candidate list.
+func compatPrefix(info *FileInfo, b *bank.Bank, opts index.Options) (k int, part, ok bool) {
+	if !ixcache.SameKey(info.Opts, opts) {
+		return 0, false, false
 	}
-	defer f.Close()
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		return 0, false
+	sums := b.SeqChecksums()
+	switch {
+	case info.NumSeqs > b.NumSeqs():
+		if info.Version != version3 {
+			return 0, false, false
+		}
+		nb := -1
+		for i, blk := range info.Blocks {
+			if blk.SeqHi == b.NumSeqs() {
+				nb = i + 1
+				break
+			}
+			if blk.SeqHi > b.NumSeqs() {
+				break
+			}
+		}
+		if nb < 0 || info.Blocks[nb-1].DataHi != int64(len(b.Data)) {
+			return 0, false, false
+		}
+		for i := range sums {
+			if info.SeqSums[i] != sums[i] {
+				return 0, false, false
+			}
+		}
+		return info.NumSeqs, true, true
+	case info.NumSeqs >= 1 && info.NumSeqs < b.NumSeqs():
+		k = info.NumSeqs
+		if info.DataLen != int64(b.PrefixLen(k)) {
+			return 0, false, false
+		}
+		for i := 0; i < k; i++ {
+			if info.SeqSums[i] != sums[i] {
+				return 0, false, false
+			}
+		}
+		return k, false, true
 	}
-	h, err := decodeHeader(hdr)
-	if err != nil {
-		return 0, false
-	}
-	if h.checkOptionsKey(opts) != nil {
-		return 0, false
-	}
-	if k := int(h.numSeqs); k < 1 || k >= b.NumSeqs() {
-		return 0, false
-	}
-	sums := make([]byte, 8*h.secLen[0])
-	if _, err := io.ReadFull(f, sums); err != nil {
-		return 0, false
-	}
-	k, err := h.checkPrefixBank(&sections{seqSums: sums}, b)
-	if err != nil {
-		return 0, false
-	}
-	return k, true
+	return 0, false, false
 }
 
-// prefixCandidates scans the store directory for files that could
-// extend to (b, opts), longest stored prefix first. Files are
-// pre-filtered by the sanitized bank-name prefix DirStore.Path gives
-// every save, so an exact miss probes only the requesting bank's own
-// lineage — O(files of this bank), not O(store) opens — at the cost
-// that a bank re-loaded under a different display name rebuilds
-// instead of extending (sound: extension is opportunistic).
+// prefixCandidates scans the store directory for files that could serve
+// (b, opts), best candidate first: partial loads (smallest stored bank
+// first — fewest blocks to read), then extension bases (longest stored
+// prefix first — smallest suffix to build). Files are pre-filtered by
+// the sanitized bank-name prefix DirStore.Path gives every save, so an
+// exact miss probes only the requesting bank's own lineage — O(files
+// of this bank) metadata reads, not O(store) full-file opens — at the
+// cost that a bank re-loaded under a different display name rebuilds
+// instead of reusing (sound: reuse is opportunistic).
 func (s *DirStore) prefixCandidates(b *bank.Bank, opts index.Options, exactPath string) []probeResult {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -99,22 +122,34 @@ func (s *DirStore) prefixCandidates(b *bank.Bank, opts index.Options, exactPath 
 		if path == exactPath {
 			continue
 		}
-		if k, ok := probePrefix(path, b, opts); ok {
-			out = append(out, probeResult{path: path, k: k})
+		info, err := Probe(path)
+		if err != nil {
+			continue
+		}
+		if k, part, ok := compatPrefix(info, b, opts); ok {
+			out = append(out, probeResult{path: path, info: info, k: k, part: part})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].k > out[j].k })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].part != out[j].part {
+			return out[i].part
+		}
+		if out[i].part {
+			return out[i].k < out[j].k
+		}
+		return out[i].k > out[j].k
+	})
 	return out
 }
 
-// loadPrefixExtend fully validates a candidate file as a prefix of b
-// and extends it into the complete index for (b, opts). The file's
-// frame (checksum included) and its prefix identity are re-checked
-// from scratch — the probe's cheap pass authorizes nothing — and
-// index.ExtendFromParts re-validates the decoded CSR structure before
-// the merge, so a hostile candidate fails closed. The copying reader
-// is used unconditionally: the merged index owns fresh arrays anyway,
-// so an mmap would only be a detour.
+// loadPrefixExtend fully validates a legacy v2 candidate file as a
+// prefix of b and extends it into the complete index for (b, opts).
+// The file's frame (checksum included) and its prefix identity are
+// re-checked from scratch — the probe's cheap pass authorizes nothing —
+// and index.ExtendFromParts re-validates the decoded CSR structure
+// before the merge, so a hostile candidate fails closed. The copying
+// reader is used unconditionally: the merged index owns fresh arrays
+// anyway, so an mmap would only be a detour.
 func loadPrefixExtend(path string, b *bank.Bank, opts index.Options) (*ixcache.Prepared, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -148,24 +183,99 @@ func loadPrefixExtend(path string, b *bank.Bank, opts index.Options) (*ixcache.P
 	return &ixcache.Prepared{Bank: b, Ix: ix}, nil
 }
 
+// extendV3 completes a stored v3 prefix file into the full index for
+// (b, opts): decode the stored blocks (each CRC-checked) against the
+// grown bank — block coordinates are append-stable, so they are valid
+// verbatim — build one block over the appended suffix, and reassemble.
+// Only the suffix is scanned; the returned footer and suffix block let
+// the caller append in place.
+func (s *DirStore) extendV3(path string, b *bank.Bank, opts index.Options, k int) (*ixcache.Prepared, *index.BlockParts, *footerV3, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	h, err := decodeHeaderV3(buf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, nil, nil, err
+	}
+	ftr, err := parseFooterV3(buf, int64(len(buf)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if int(ftr.numSeqs) != k || k >= b.NumSeqs() || ftr.dataLen != uint64(b.PrefixLen(k)) {
+		return nil, nil, nil, errors.Join(ErrKeyMismatch,
+			errors.New("ixdisk: stored file is not the expected strict prefix"))
+	}
+	if err := ftr.checkPrefixSums(b, k); err != nil {
+		return nil, nil, nil, err
+	}
+	blocks := make([]index.BlockParts, 0, len(ftr.dir)+1)
+	for _, e := range ftr.dir {
+		bp, err := decodeBlock(buf[e.offset:e.offset+e.length], e, false)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		blocks = append(blocks, bp)
+	}
+	s.blockLoads.Add(int64(len(ftr.dir)))
+	suffix, err := index.BuildBlock(b, opts, k, b.NumSeqs())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blocks = append(blocks, suffix)
+	ix, err := index.FromBlocks(b, opts, blocks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &ixcache.Prepared{Bank: b, Ix: ix}, &suffix, ftr, nil
+}
+
 // loadViaPrefix is the exact-miss fallback of DirStore.Load: find the
-// longest stored prefix of (b, opts), extend it, memoize and write the
-// result back under the exact key. A clean (nil, nil) miss when no
-// candidate survives — never an error, extension is best-effort.
+// best stored relative of (b, opts) and serve the request from it —
+// partial-load a larger stored file, or complete a stored prefix and
+// persist the result. A clean (nil, nil) miss when no candidate
+// survives — never an error, reuse is best-effort.
 func (s *DirStore) loadViaPrefix(b *bank.Bank, opts index.Options, exactPath string) (*ixcache.Prepared, error) {
 	for _, cand := range s.prefixCandidates(b, opts, exactPath) {
+		if cand.part {
+			p, loaded, _, err := loadV3Prefix(cand.path, b, opts)
+			if err != nil {
+				continue
+			}
+			s.blockLoads.Add(int64(loaded))
+			s.memoize(exactPath, b, p, nil)
+			// Nothing to write back: the stored file already holds this
+			// bank's blocks (and more). Touching keeps the GC honest about
+			// the file being in active use.
+			touchFile(cand.path)
+			return p, nil
+		}
+		if cand.info.Version == version3 {
+			p, suffix, ftr, err := s.extendV3(cand.path, b, opts, cand.k)
+			if err != nil {
+				continue
+			}
+			s.extends.Add(1)
+			s.memoize(exactPath, b, p, nil)
+			s.persistAppend(cand.path, exactPath, p, suffix, ftr)
+			return p, nil
+		}
 		p, err := loadPrefixExtend(cand.path, b, opts)
 		if err != nil {
 			continue
 		}
 		s.extends.Add(1)
 		s.memoize(exactPath, b, p, nil)
-		// Write back under the exact key so later processes exact-hit
-		// (and the stale prefix file ages out via GC). Failure never
-		// fails the load — the next cold process just extends again —
-		// but a genuine I/O failure is counted (WriteBackErrors) so a
-		// store that can no longer be written doesn't read as healthy;
-		// a policy decline is already counted by Save itself.
+		// Legacy v2 prefix: write the completed index back in full under
+		// the exact key — the v2→v3 heal-by-rewrite for the prefix case.
+		// Failure never fails the load — the next cold process just
+		// extends again — but a genuine I/O failure is counted
+		// (WriteBackErrors) so a store that can no longer be written
+		// doesn't read as healthy; a policy decline is already counted by
+		// Save itself.
 		if err := s.Save(p); err != nil && !errors.Is(err, ixcache.ErrSaveDeclined) {
 			s.writeBackErrs.Add(1)
 		}
@@ -174,9 +284,39 @@ func (s *DirStore) loadViaPrefix(b *bank.Bank, opts index.Options, exactPath str
 	return nil, nil
 }
 
+// persistAppend makes a completed v3 extension durable by the O(suffix)
+// route: write the suffix block over the old footer, write the grown
+// footer, rename the file to the exact key's path. Policy-gated and
+// best-effort like every write-back; if the in-place append fails a
+// full save is attempted before counting a write-back error.
+func (s *DirStore) persistAppend(oldPath, exactPath string, p *ixcache.Prepared, suffix *index.BlockParts, ftr *footerV3) {
+	s.mu.Lock()
+	pol := s.policy
+	isDB := s.dbBanks[p.Bank]
+	gcCfg := s.gcCfg
+	s.mu.Unlock()
+	if !pol.allows(p.Bank, isDB) {
+		s.savesDeclined.Add(1)
+		return
+	}
+	if err := appendBlockAt(oldPath, exactPath, p.Bank, suffix, ftr); err != nil {
+		if err := s.Save(p); err != nil && !errors.Is(err, ixcache.ErrSaveDeclined) {
+			s.writeBackErrs.Add(1)
+		}
+		return
+	}
+	s.blockAppends.Add(1)
+	touchFile(exactPath)
+	if gcCfg.MaxBytes > 0 || gcCfg.MaxAge > 0 {
+		_, _ = s.GC()
+	}
+}
+
 // Extends returns how many exact misses this store satisfied by
-// suffix-extending a stored prefix index — the append-aware reuse
-// counter the CLIs surface next to builds and disk hits.
+// completing a stored prefix index over its appended suffix (v3 block
+// appends and legacy v2 suffix extensions both count) — the
+// append-aware reuse counter the CLIs surface next to builds and disk
+// hits.
 func (s *DirStore) Extends() int64 { return s.extends.Load() }
 
 // SavesDeclined returns how many saves the store's SavePolicy refused.
@@ -187,3 +327,14 @@ func (s *DirStore) SavesDeclined() int64 { return s.savesDeclined.Load() }
 // through the cache's save path, so they are invisible to
 // ixcache.Cache.DiskErrors; the CLIs add the two counters together.
 func (s *DirStore) WriteBackErrors() int64 { return s.writeBackErrs.Load() }
+
+// BlockLoads returns how many v3 blocks the store has decoded and
+// CRC-checked from disk — exact loads, partial loads, and extension
+// bases all count, so BlockLoads < (blocks on disk touched · loads)
+// quantifies how much partial loading saves.
+func (s *DirStore) BlockLoads() int64 { return s.blockLoads.Load() }
+
+// BlockAppends returns how many times the store grew a stored v3 file
+// in place by exactly one suffix block (plus footer) instead of
+// rewriting it.
+func (s *DirStore) BlockAppends() int64 { return s.blockAppends.Load() }

@@ -1,0 +1,792 @@
+package ixdisk
+
+// The .orix version-3 codec: block-structured index files.
+//
+// # File layout (version 3)
+//
+//	header (48 bytes)   magic, version, header size, options key, CRC
+//	block*              per-sequence-group CSR slices, 8-byte aligned
+//	footer              bank identity, per-sequence checksums, block
+//	                    directory, CRC, self-locating trailer
+//
+// Each block is a self-contained index.BlockParts over one contiguous
+// sequence range: a 64-byte block header, the six 4-byte-element
+// sections (Codes, Counts, Pos, OccSeq, OccLo, OccHi), a CRC-32C over
+// header + sections, and zero padding to an 8-byte boundary — so every
+// section is 4-byte aligned from any page-aligned base and LoadMapped
+// can alias them. Unlike v2 there is no dense 4^W+1 Starts section:
+// blocks carry the sparse (code, count) directory and readers
+// materialize Starts on load, which shrinks files by 4·4^W bytes.
+//
+// The footer is the only part of the file that changes when a bank is
+// appended to. It records the bank identity (content CRC, data length,
+// sequence count), the full per-sequence checksum vector, and one
+// 48-byte directory entry per block (offset, length, sequence and Data
+// ranges, block CRC), followed by a footer CRC-32C and a 16-byte
+// self-locating trailer (CRC, footer length, end magic) so readers and
+// the probe find the directory from the file size alone.
+//
+// # Append
+//
+// Appending sequences to a stored bank writes exactly one new block:
+// the new block overwrites the old footer region (block offsets never
+// move — old block bytes are an unchanged prefix of the new file), a
+// new footer follows it, and the file is renamed to the grown bank's
+// key path. Total write cost is O(suffix) + footer, not O(bank). The
+// write is deliberately not atomic — a torn append leaves a footer
+// that fails its CRC or magic checks, the file is rejected, and the
+// store heals by rebuild, the same no-fsync crash philosophy Save has
+// always had. A crash between the footer write and the rename leaves a
+// valid grown-bank file under the old key's name; both the old bank
+// (via the block boundary) and the grown bank (via the directory scan)
+// can still be served from it.
+//
+// # Partial loads
+//
+// Because every append leaves a block boundary at the pre-append
+// sequence count, a request for a bank that is a block-boundary prefix
+// of a stored file is served by reading only the covering blocks —
+// header + footer + a prefix of the blocks, never the whole file. The
+// per-block CRCs make that sound: each block validates independently.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bank"
+	"repro/internal/dust"
+	"repro/internal/index"
+	"repro/internal/ixcache"
+	"repro/internal/seed"
+)
+
+const (
+	version3     = 3
+	headerSizeV3 = 48
+	blockMagic   = "ORIXBLK1"
+	footerMagic  = "ORIXFTR1"
+	endMagic     = "ORIXEND1"
+	blockHdrSize = 64
+	dirEntSize   = 48
+	footerFixed  = 32 // footerMagic + bankCRC + dataLen + numSeqs + numBlocks
+	trailerSize  = 16 // footerCRC + footerLen + endMagic
+)
+
+// DefaultBlockSeqs is the sequence-group size Save cuts fresh builds
+// into. Appends always write one block per append regardless; this
+// bound only shapes cold saves, trading finer partial-load granularity
+// against per-block overhead (64 bytes + a directory entry).
+const DefaultBlockSeqs = 4096
+
+// optionsHeader is the decoded v3 fixed header: the options key alone.
+// Bank identity lives in the footer, which is rewritten on append —
+// the header is written once and never touched again.
+type optionsHeader struct {
+	w           uint32
+	sampleStep  uint32
+	samplePhase uint32
+	dustOn      uint32
+	dustWindow  uint32
+	dustThresh  uint64
+}
+
+func (h *optionsHeader) indexOptions() index.Options {
+	o := index.Options{
+		W:           int(h.w),
+		SampleStep:  int(h.sampleStep),
+		SamplePhase: int(h.samplePhase),
+	}
+	if h.dustOn != 0 {
+		o.Dust = dust.New(int(h.dustWindow), math.Float64frombits(h.dustThresh))
+	}
+	return o
+}
+
+// checkOptionsKey verifies the recorded options against the requesting
+// ones through the same projection the in-memory cache uses.
+func (h *optionsHeader) checkOptionsKey(opts index.Options) error {
+	if !ixcache.SameKey(h.indexOptions(), opts) {
+		o := opts.Normalized()
+		return fmt.Errorf("ixdisk: %w: file built with W=%d step=%d/%d dust=%v, "+
+			"requested W=%d step=%d/%d dust=%v",
+			ErrKeyMismatch, h.w, h.sampleStep, h.samplePhase, h.dustOn != 0,
+			o.W, o.SampleStep, o.SamplePhase, o.Dust != nil)
+	}
+	return nil
+}
+
+// encodeHeaderV3 serializes the fixed header for opts.
+func encodeHeaderV3(opts index.Options) []byte {
+	o := opts.Normalized()
+	hdr := make([]byte, headerSizeV3)
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version3)
+	binary.LittleEndian.PutUint32(hdr[12:], headerSizeV3)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(o.W))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(o.SampleStep))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(o.SamplePhase))
+	var dustOn, dw uint32
+	var dt uint64
+	if o.Dust != nil {
+		dustOn = 1
+		dw = uint32(o.Dust.Window)
+		dt = math.Float64bits(o.Dust.Threshold)
+	}
+	binary.LittleEndian.PutUint32(hdr[28:], dustOn)
+	binary.LittleEndian.PutUint32(hdr[32:], dw)
+	binary.LittleEndian.PutUint64(hdr[36:], dt)
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[:44], crc32Table))
+	return hdr
+}
+
+// decodeHeaderV3 parses and checks the fixed v3 header. The header CRC
+// makes the options key self-validating — a flipped dust bit cannot
+// silently serve an index built under different options.
+func decodeHeaderV3(buf []byte) (*optionsHeader, error) {
+	if len(buf) < headerSizeV3 {
+		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte v3 header",
+			ErrTruncated, len(buf), headerSizeV3)
+	}
+	if string(buf[0:8]) != magic {
+		return nil, fmt.Errorf("ixdisk: %w: got %q", ErrBadMagic, buf[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != version3 {
+		return nil, fmt.Errorf("ixdisk: %w: file is version %d, v3 reader got it", ErrVersion, v)
+	}
+	if hs := binary.LittleEndian.Uint32(buf[12:]); hs != headerSizeV3 {
+		return nil, fmt.Errorf("ixdisk: %w: v3 header size %d, want %d", ErrVersion, hs, headerSizeV3)
+	}
+	if want := binary.LittleEndian.Uint32(buf[44:]); crc32.Checksum(buf[:44], crc32Table) != want {
+		return nil, fmt.Errorf("ixdisk: %w: v3 header CRC mismatch", ErrChecksum)
+	}
+	return &optionsHeader{
+		w:           binary.LittleEndian.Uint32(buf[16:]),
+		sampleStep:  binary.LittleEndian.Uint32(buf[20:]),
+		samplePhase: binary.LittleEndian.Uint32(buf[24:]),
+		dustOn:      binary.LittleEndian.Uint32(buf[28:]),
+		dustWindow:  binary.LittleEndian.Uint32(buf[32:]),
+		dustThresh:  binary.LittleEndian.Uint64(buf[36:]),
+	}, nil
+}
+
+// dirEntry is one footer directory row: where a block lives and what
+// it covers, plus its CRC so a partial reader can validate a block it
+// mapped without trusting the block's own trailing copy.
+type dirEntry struct {
+	offset, length uint64
+	seqLo, seqHi   uint32
+	dataLo, dataHi uint64
+	crc            uint32
+}
+
+// footerV3 is the decoded footer: the bank identity and the block
+// directory — everything the probe and the partial-load path need.
+type footerV3 struct {
+	bankCRC uint64
+	dataLen uint64
+	numSeqs uint32
+	seqSums []byte // raw little-endian u64 vector, 8*numSeqs bytes
+	dir     []dirEntry
+	start   int64 // file offset the footer begins at
+}
+
+func (f *footerV3) seqSum(i int) uint64 {
+	return binary.LittleEndian.Uint64(f.seqSums[8*i:])
+}
+
+// boundaryBlocks returns how many leading blocks cover exactly the
+// first k sequences, or -1 when k is not a block boundary.
+func (f *footerV3) boundaryBlocks(k int) int {
+	if k == 0 {
+		return -1
+	}
+	for i, e := range f.dir {
+		if int(e.seqHi) == k {
+			return i + 1
+		}
+		if int(e.seqHi) > k {
+			return -1
+		}
+	}
+	return -1
+}
+
+// encodeFooterV3 serializes the footer (trailer included) for a bank
+// identity and block directory.
+func encodeFooterV3(bankCRC uint64, dataLen uint64, seqSums []uint64, dir []dirEntry) []byte {
+	flen := footerFixed + 8*len(seqSums) + dirEntSize*len(dir) + trailerSize
+	f := make([]byte, flen)
+	copy(f[0:8], footerMagic)
+	binary.LittleEndian.PutUint64(f[8:], bankCRC)
+	binary.LittleEndian.PutUint64(f[16:], dataLen)
+	binary.LittleEndian.PutUint32(f[24:], uint32(len(seqSums)))
+	binary.LittleEndian.PutUint32(f[28:], uint32(len(dir)))
+	off := footerFixed
+	for _, s := range seqSums {
+		binary.LittleEndian.PutUint64(f[off:], s)
+		off += 8
+	}
+	for _, e := range dir {
+		binary.LittleEndian.PutUint64(f[off+0:], e.offset)
+		binary.LittleEndian.PutUint64(f[off+8:], e.length)
+		binary.LittleEndian.PutUint32(f[off+16:], e.seqLo)
+		binary.LittleEndian.PutUint32(f[off+20:], e.seqHi)
+		binary.LittleEndian.PutUint64(f[off+24:], e.dataLo)
+		binary.LittleEndian.PutUint64(f[off+32:], e.dataHi)
+		binary.LittleEndian.PutUint32(f[off+40:], e.crc)
+		off += dirEntSize
+	}
+	binary.LittleEndian.PutUint32(f[off:], crc32.Checksum(f[:off], crc32Table))
+	binary.LittleEndian.PutUint32(f[off+4:], uint32(flen))
+	copy(f[off+8:], endMagic)
+	return f
+}
+
+// parseFooterV3 decodes and validates the footer given the file's
+// trailing bytes (tail must reach back to at least the footer start;
+// fileSize locates offsets). Beyond framing and CRC it enforces the
+// structural directory invariants every reader depends on: blocks
+// tile the sequence and Data spaces contiguously in ascending order,
+// are laid out back-to-back from the header to the footer, and each is
+// large enough for its own header. Hostile directories — overlapping
+// ranges, gaps, a truncated last block — are rejected here, before any
+// block byte is touched.
+func parseFooterV3(tail []byte, fileSize int64) (*footerV3, error) {
+	if len(tail) < trailerSize {
+		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte v3 trailer",
+			ErrTruncated, len(tail), trailerSize)
+	}
+	tr := tail[len(tail)-trailerSize:]
+	if string(tr[8:16]) != endMagic {
+		return nil, fmt.Errorf("ixdisk: %w: v3 end magic is %q", ErrTruncated, tr[8:16])
+	}
+	flen := int64(binary.LittleEndian.Uint32(tr[4:8]))
+	if flen < footerFixed+trailerSize || flen > int64(len(tail)) || fileSize-flen < headerSizeV3 {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer claims %d bytes of a %d-byte file",
+			ErrTruncated, flen, fileSize)
+	}
+	f := tail[int64(len(tail))-flen:]
+	if string(f[0:8]) != footerMagic {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer magic is %q", ErrTruncated, f[0:8])
+	}
+	want := binary.LittleEndian.Uint32(f[flen-trailerSize:])
+	if got := crc32.Checksum(f[:flen-trailerSize], crc32Table); got != want {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer computed %08x, file records %08x",
+			ErrChecksum, got, want)
+	}
+	ftr := &footerV3{
+		bankCRC: binary.LittleEndian.Uint64(f[8:]),
+		dataLen: binary.LittleEndian.Uint64(f[16:]),
+		numSeqs: binary.LittleEndian.Uint32(f[24:]),
+		start:   fileSize - flen,
+	}
+	numBlocks := binary.LittleEndian.Uint32(f[28:])
+	if flen != int64(footerFixed)+8*int64(ftr.numSeqs)+dirEntSize*int64(numBlocks)+trailerSize {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer is %d bytes for %d sequences and %d blocks",
+			ErrTruncated, flen, ftr.numSeqs, numBlocks)
+	}
+	if numBlocks == 0 || ftr.numSeqs == 0 {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer records %d blocks over %d sequences",
+			ErrTruncated, numBlocks, ftr.numSeqs)
+	}
+	ftr.seqSums = f[footerFixed : footerFixed+8*int(ftr.numSeqs)]
+	off := footerFixed + 8*int(ftr.numSeqs)
+	ftr.dir = make([]dirEntry, numBlocks)
+	for i := range ftr.dir {
+		e := &ftr.dir[i]
+		e.offset = binary.LittleEndian.Uint64(f[off+0:])
+		e.length = binary.LittleEndian.Uint64(f[off+8:])
+		e.seqLo = binary.LittleEndian.Uint32(f[off+16:])
+		e.seqHi = binary.LittleEndian.Uint32(f[off+20:])
+		e.dataLo = binary.LittleEndian.Uint64(f[off+24:])
+		e.dataHi = binary.LittleEndian.Uint64(f[off+32:])
+		e.crc = binary.LittleEndian.Uint32(f[off+40:])
+		off += dirEntSize
+	}
+	// Directory invariants: contiguous tilings, back-to-back layout.
+	wantOff := uint64(headerSizeV3)
+	var wantSeq uint32
+	wantData := ftr.dir[0].dataLo
+	for i, e := range ftr.dir {
+		if e.offset != wantOff || e.length < blockHdrSize+8 || e.length%8 != 0 {
+			return nil, fmt.Errorf("ixdisk: %w: v3 block %d at offset %d/length %d breaks the back-to-back layout",
+				ErrTruncated, i, e.offset, e.length)
+		}
+		if e.seqLo != wantSeq || e.seqHi <= e.seqLo || e.seqHi > ftr.numSeqs {
+			return nil, fmt.Errorf("ixdisk: %w: v3 block %d covers sequences [%d,%d), expected to start at %d",
+				ErrTruncated, i, e.seqLo, e.seqHi, wantSeq)
+		}
+		if e.dataLo != wantData || e.dataHi < e.dataLo || e.dataHi > ftr.dataLen {
+			return nil, fmt.Errorf("ixdisk: %w: v3 block %d covers Data [%d,%d), expected to start at %d",
+				ErrTruncated, i, e.dataLo, e.dataHi, wantData)
+		}
+		wantOff += e.length
+		wantSeq = e.seqHi
+		wantData = e.dataHi
+	}
+	last := ftr.dir[len(ftr.dir)-1]
+	if wantSeq != ftr.numSeqs || wantData != ftr.dataLen || int64(last.offset+last.length) != ftr.start {
+		return nil, fmt.Errorf("ixdisk: %w: v3 directory covers %d/%d sequences, %d/%d bytes, blocks end at %d of %d",
+			ErrTruncated, wantSeq, ftr.numSeqs, wantData, ftr.dataLen, last.offset+last.length, ftr.start)
+	}
+	return ftr, nil
+}
+
+// blockByteLen returns the padded on-disk length of a block with
+// nCodes directory entries and nOcc occurrences.
+func blockByteLen(nCodes, nOcc int) int {
+	raw := blockHdrSize + 8*nCodes + 16*nOcc + 4 // header + sections + CRC
+	return (raw + 7) &^ 7
+}
+
+// encodeBlock streams one block to w and returns its padded length and
+// CRC (over header + sections) for the footer directory.
+func encodeBlock(w io.Writer, bp *index.BlockParts) (length int, crc uint32, err error) {
+	hdr := make([]byte, blockHdrSize)
+	copy(hdr[0:8], blockMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(bp.SeqLo))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(bp.SeqHi))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(bp.DataLo))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(bp.DataHi))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(bp.Pos)))
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(bp.Codes)))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(bp.MaskedOut))
+	binary.LittleEndian.PutUint64(hdr[56:], uint64(bp.SampledOut))
+
+	sum := crc32.New(crc32Table)
+	mw := io.MultiWriter(w, sum)
+	if _, err := mw.Write(hdr); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.Codes); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.Counts); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.Pos); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.OccSeq); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.OccLo); err != nil {
+		return 0, 0, err
+	}
+	if err := writeWords(mw, bp.OccHi); err != nil {
+		return 0, 0, err
+	}
+	crc = sum.Sum32()
+	length = blockByteLen(len(bp.Codes), len(bp.Pos))
+	raw := blockHdrSize + 8*len(bp.Codes) + 16*len(bp.Pos)
+	tail := make([]byte, length-raw)
+	binary.LittleEndian.PutUint32(tail, crc)
+	if _, err := w.Write(tail); err != nil {
+		return 0, 0, err
+	}
+	return length, crc, nil
+}
+
+// decodeBlock validates one block's bytes against its directory entry
+// and returns its parts, aliasing buf when alias is set (mmap path,
+// single-block files) and copying otherwise.
+func decodeBlock(buf []byte, ent dirEntry, alias bool) (index.BlockParts, error) {
+	var bp index.BlockParts
+	if uint64(len(buf)) != ent.length {
+		return bp, fmt.Errorf("ixdisk: %w: block has %d bytes, directory records %d",
+			ErrTruncated, len(buf), ent.length)
+	}
+	if string(buf[0:8]) != blockMagic {
+		return bp, fmt.Errorf("ixdisk: %w: block magic is %q", ErrTruncated, buf[0:8])
+	}
+	nOcc := binary.LittleEndian.Uint64(buf[32:])
+	nCodes := binary.LittleEndian.Uint32(buf[40:])
+	if nOcc > math.MaxInt32 || nCodes > math.MaxInt32 {
+		return bp, fmt.Errorf("ixdisk: %w: block claims %d occurrences, %d codes", ErrTruncated, nOcc, nCodes)
+	}
+	raw := blockHdrSize + 8*int(nCodes) + 16*int(nOcc)
+	if blockByteLen(int(nCodes), int(nOcc)) != int(ent.length) {
+		return bp, fmt.Errorf("ixdisk: %w: block sections imply %d bytes, directory records %d",
+			ErrTruncated, blockByteLen(int(nCodes), int(nOcc)), ent.length)
+	}
+	crc := crc32.Checksum(buf[:raw], crc32Table)
+	if rec := binary.LittleEndian.Uint32(buf[raw:]); crc != rec || crc != ent.crc {
+		return bp, fmt.Errorf("ixdisk: %w: block computed %08x, block records %08x, directory %08x",
+			ErrChecksum, crc, rec, ent.crc)
+	}
+	if binary.LittleEndian.Uint32(buf[8:]) != ent.seqLo ||
+		binary.LittleEndian.Uint32(buf[12:]) != ent.seqHi ||
+		binary.LittleEndian.Uint64(buf[16:]) != ent.dataLo ||
+		binary.LittleEndian.Uint64(buf[24:]) != ent.dataHi {
+		return bp, fmt.Errorf("ixdisk: %w: block header ranges disagree with the footer directory", ErrKeyMismatch)
+	}
+	masked := binary.LittleEndian.Uint64(buf[48:])
+	sampled := binary.LittleEndian.Uint64(buf[56:])
+	if masked > math.MaxInt32 || sampled > math.MaxInt32 {
+		return bp, fmt.Errorf("ixdisk: %w: block counters %d/%d", ErrTruncated, masked, sampled)
+	}
+	bp.SeqLo, bp.SeqHi = int(ent.seqLo), int(ent.seqHi)
+	bp.DataLo, bp.DataHi = int(ent.dataLo), int(ent.dataHi)
+	bp.MaskedOut, bp.SampledOut = int(masked), int(sampled)
+	secs := buf[blockHdrSize:raw]
+	c, n := int(nCodes), int(nOcc)
+	cut := func(elems int) []byte {
+		s := secs[:4*elems]
+		secs = secs[4*elems:]
+		return s
+	}
+	if alias {
+		bp.Codes = aliasWords[seed.Code](cut(c))
+		bp.Counts = aliasWords[int32](cut(c))
+		bp.Pos = aliasWords[int32](cut(n))
+		bp.OccSeq = aliasWords[int32](cut(n))
+		bp.OccLo = aliasWords[int32](cut(n))
+		bp.OccHi = aliasWords[int32](cut(n))
+	} else {
+		bp.Codes = decodeWords[seed.Code](cut(c))
+		bp.Counts = decodeWords[int32](cut(c))
+		bp.Pos = decodeWords[int32](cut(n))
+		bp.OccSeq = decodeWords[int32](cut(n))
+		bp.OccLo = decodeWords[int32](cut(n))
+		bp.OccHi = decodeWords[int32](cut(n))
+	}
+	return bp, nil
+}
+
+// saveBlocksTo streams header + blocks + footer for p, split at every
+// blockSeqs sequences, to a writer. Shared by SaveBlocks (fresh files)
+// and tests.
+func saveBlocksTo(w io.Writer, p *ixcache.Prepared, blockSeqs int) error {
+	if blockSeqs < 1 {
+		blockSeqs = DefaultBlockSeqs
+	}
+	b := p.Bank
+	var cuts []int
+	for c := blockSeqs; c < b.NumSeqs(); c += blockSeqs {
+		cuts = append(cuts, c)
+	}
+	blocks := index.SplitBlocks(p.Ix, cuts)
+	if _, err := w.Write(encodeHeaderV3(p.Ix.Options())); err != nil {
+		return err
+	}
+	dir := make([]dirEntry, len(blocks))
+	off := uint64(headerSizeV3)
+	for i := range blocks {
+		bp := &blocks[i]
+		length, crc, err := encodeBlock(w, bp)
+		if err != nil {
+			return err
+		}
+		dir[i] = dirEntry{
+			offset: off, length: uint64(length),
+			seqLo: uint32(bp.SeqLo), seqHi: uint32(bp.SeqHi),
+			dataLo: uint64(bp.DataLo), dataHi: uint64(bp.DataHi),
+			crc: crc,
+		}
+		off += uint64(length)
+	}
+	_, err := w.Write(encodeFooterV3(BankChecksum(b), uint64(len(b.Data)), b.SeqChecksums(), dir))
+	return err
+}
+
+// SaveBlocks writes p's index to path as a v3 file cut into blocks of
+// blockSeqs sequences (non-positive means DefaultBlockSeqs), with the
+// same atomic temp + rename discipline as Save.
+func SaveBlocks(path string, p *ixcache.Prepared, blockSeqs int) error {
+	if p == nil || p.Bank == nil || p.Ix == nil || p.Ix.Bank != p.Bank {
+		return errors.New("ixdisk: Save: inconsistent prepared value")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	if err := saveBlocksTo(bw, p, blockSeqs); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ixdisk: Save: %w", err)
+	}
+	tmpName = ""
+	return nil
+}
+
+// checkExactBankV3 verifies the footer identity is exactly bank b,
+// per-sequence checksums included.
+func (f *footerV3) checkExactBank(b *bank.Bank) error {
+	if f.dataLen != uint64(len(b.Data)) || f.numSeqs != uint32(b.NumSeqs()) ||
+		f.bankCRC != BankChecksum(b) {
+		return fmt.Errorf("ixdisk: %w: file indexes a different bank "+
+			"(crc %016x/%d bytes/%d seqs, requested bank %q is %016x/%d/%d)",
+			ErrKeyMismatch, f.bankCRC, f.dataLen, f.numSeqs,
+			b.Name, BankChecksum(b), len(b.Data), b.NumSeqs())
+	}
+	sums := b.SeqChecksums()
+	for i := range sums {
+		if f.seqSum(i) != sums[i] {
+			return fmt.Errorf("ixdisk: %w: per-sequence checksum %d disagrees with requested bank %q",
+				ErrKeyMismatch, i, b.Name)
+		}
+	}
+	return nil
+}
+
+// checkPrefixSums verifies the footer's first k per-sequence checksums
+// match bank b's first k — the shared identity test of the partial-load
+// (k == b.NumSeqs(), stored file larger) and append (k < b.NumSeqs(),
+// stored file smaller) paths.
+func (f *footerV3) checkPrefixSums(b *bank.Bank, k int) error {
+	if k < 1 || k > int(f.numSeqs) || k > b.NumSeqs() {
+		return fmt.Errorf("ixdisk: %w: %d-sequence prefix of a %d-sequence file against bank %q (%d)",
+			ErrKeyMismatch, k, f.numSeqs, b.Name, b.NumSeqs())
+	}
+	sums := b.SeqChecksums()
+	for i := 0; i < k; i++ {
+		if f.seqSum(i) != sums[i] {
+			return fmt.Errorf("ixdisk: %w: per-sequence checksum %d disagrees with bank %q",
+				ErrKeyMismatch, i, b.Name)
+		}
+	}
+	return nil
+}
+
+// loadV3 parses a complete in-memory v3 image for exactly (b, opts).
+// alias selects zero-copy section views (the caller owns a mapping
+// that outlives the index) — honored only for single-block files,
+// where the block's sections are already whole-bank CSR order; multi-
+// block files are merged into fresh arrays regardless. It reports how
+// many blocks were decoded (the BlockLoads accounting).
+func loadV3(buf []byte, b *bank.Bank, opts index.Options, alias bool) (*ixcache.Prepared, int, bool, error) {
+	h, err := decodeHeaderV3(buf)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, 0, false, err
+	}
+	ftr, err := parseFooterV3(buf, int64(len(buf)))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := ftr.checkExactBank(b); err != nil {
+		return nil, 0, false, err
+	}
+	aliased := alias && len(ftr.dir) == 1
+	blocks := make([]index.BlockParts, len(ftr.dir))
+	for i, e := range ftr.dir {
+		bp, err := decodeBlock(buf[e.offset:e.offset+e.length], e, aliased)
+		if err != nil {
+			return nil, i, false, err
+		}
+		blocks[i] = bp
+	}
+	var ix *index.Index
+	if aliased {
+		ix, err = fromSingleBlock(b, h.indexOptions(), &blocks[0])
+	} else {
+		ix, err = index.FromBlocks(b, h.indexOptions(), blocks)
+	}
+	if err != nil {
+		return nil, len(blocks), false, err
+	}
+	return &ixcache.Prepared{Bank: b, Ix: ix}, len(blocks), aliased, nil
+}
+
+// fromSingleBlock assembles a whole-bank index directly over one
+// block's (possibly mmap-aliased) sections: the block covers the full
+// bank, so its CSR-ordered arrays are the index arrays verbatim and
+// only the dense Starts needs materializing from the sparse counts.
+// index.FromParts applies the same full structural validation the
+// copying path gets.
+func fromSingleBlock(b *bank.Bank, opts index.Options, bp *index.BlockParts) (*index.Index, error) {
+	opts = opts.Normalized()
+	if bp.SeqLo != 0 || bp.SeqHi != b.NumSeqs() || opts.W < 1 || opts.W > seed.MaxW {
+		return nil, fmt.Errorf("ixdisk: %w: single block covers sequences [%d,%d) of %d",
+			ErrKeyMismatch, bp.SeqLo, bp.SeqHi, b.NumSeqs())
+	}
+	n := seed.NumCodes(opts.W)
+	starts := make([]int32, n+1)
+	var running int32
+	prev := -1
+	for i, c := range bp.Codes {
+		if int(c) <= prev || int(c) >= n {
+			return nil, fmt.Errorf("ixdisk: %w: block code directory not ascending in the 4^%d space",
+				ErrKeyMismatch, opts.W)
+		}
+		if bp.Counts[i] < 1 {
+			return nil, fmt.Errorf("ixdisk: %w: block records %d occurrences for code %d",
+				ErrKeyMismatch, bp.Counts[i], c)
+		}
+		for x := prev + 1; x <= int(c); x++ {
+			starts[x] = running
+		}
+		running += bp.Counts[i]
+		prev = int(c)
+	}
+	for x := prev + 1; x <= n; x++ {
+		starts[x] = running
+	}
+	ix, err := index.FromParts(b, opts, index.Parts{
+		Starts: starts, Pos: bp.Pos, Codes: bp.Codes,
+		OccSeq: bp.OccSeq, OccLo: bp.OccLo, OccHi: bp.OccHi,
+		Indexed:    len(bp.Pos),
+		MaskedOut:  bp.MaskedOut,
+		SampledOut: bp.SampledOut,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// readFooterAt reads and parses just the footer of an open v3 file —
+// the probe's and the partial loader's entry point: two small ReadAt
+// calls (trailer, then footer), never the blocks.
+func readFooterAt(f io.ReaderAt, size int64) (*footerV3, error) {
+	if size < headerSizeV3+trailerSize {
+		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the v3 minimum", ErrTruncated, size)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("ixdisk: %w: reading v3 trailer: %v", ErrTruncated, err)
+	}
+	if string(tr[8:16]) != endMagic {
+		return nil, fmt.Errorf("ixdisk: %w: v3 end magic is %q", ErrTruncated, tr[8:16])
+	}
+	flen := int64(binary.LittleEndian.Uint32(tr[4:8]))
+	if flen < footerFixed+trailerSize || size-flen < headerSizeV3 {
+		return nil, fmt.Errorf("ixdisk: %w: v3 footer claims %d bytes of a %d-byte file",
+			ErrTruncated, flen, size)
+	}
+	tail := make([]byte, flen)
+	if _, err := f.ReadAt(tail, size-flen); err != nil {
+		return nil, fmt.Errorf("ixdisk: %w: reading v3 footer: %v", ErrTruncated, err)
+	}
+	return parseFooterV3(tail, size)
+}
+
+// loadV3Prefix serves bank b from a stored v3 file that indexes a
+// *larger* bank of which b is a block-boundary prefix: it reads the
+// header, the footer, and only the covering blocks — the partial-load
+// path. Returns the number of blocks read and the file's total.
+func loadV3Prefix(path string, b *bank.Bank, opts index.Options) (p *ixcache.Prepared, loaded, total int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hdr := make([]byte, headerSizeV3)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("ixdisk: %w: %v", ErrTruncated, err)
+	}
+	h, err := decodeHeaderV3(hdr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := h.checkOptionsKey(opts); err != nil {
+		return nil, 0, 0, err
+	}
+	ftr, err := readFooterAt(f, fi.Size())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	total = len(ftr.dir)
+	k := b.NumSeqs()
+	nb := ftr.boundaryBlocks(k)
+	if nb < 0 || int(ftr.numSeqs) < k {
+		return nil, 0, total, fmt.Errorf("ixdisk: %w: bank %q (%d seqs) is not a block boundary of the stored %d-sequence file",
+			ErrKeyMismatch, b.Name, k, ftr.numSeqs)
+	}
+	if ftr.dir[nb-1].dataHi != uint64(len(b.Data)) {
+		return nil, 0, total, fmt.Errorf("ixdisk: %w: stored boundary at %d bytes, bank %q has %d",
+			ErrKeyMismatch, ftr.dir[nb-1].dataHi, b.Name, len(b.Data))
+	}
+	if err := ftr.checkPrefixSums(b, k); err != nil {
+		return nil, 0, total, err
+	}
+	// One contiguous read of exactly the covering blocks.
+	span := ftr.dir[nb-1].offset + ftr.dir[nb-1].length - headerSizeV3
+	buf := make([]byte, span)
+	if _, err := f.ReadAt(buf, headerSizeV3); err != nil {
+		return nil, 0, total, fmt.Errorf("ixdisk: %w: reading %d blocks: %v", ErrTruncated, nb, err)
+	}
+	blocks := make([]index.BlockParts, nb)
+	for i := 0; i < nb; i++ {
+		e := ftr.dir[i]
+		bp, err := decodeBlock(buf[e.offset-headerSizeV3:e.offset-headerSizeV3+e.length], e, false)
+		if err != nil {
+			return nil, i, total, err
+		}
+		blocks[i] = bp
+	}
+	ix, err := index.FromBlocks(b, h.indexOptions(), blocks)
+	if err != nil {
+		return nil, nb, total, err
+	}
+	return &ixcache.Prepared{Bank: b, Ix: ix}, nb, total, nil
+}
+
+// appendBlockAt writes suffix (plus a fresh footer for the grown bank
+// identity) over the old footer region of the v3 file at path, then
+// renames the file to newPath — the O(suffix) append. Old block bytes
+// are never touched: the old file's header and blocks remain an
+// unchanged byte prefix of the result. Not atomic by design; a torn
+// write fails the footer checks and the store heals by rebuild.
+func appendBlockAt(path, newPath string, grown *bank.Bank, suffix *index.BlockParts, oldFtr *footerV3) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	length, crc, err := encodeBlock(&buf, suffix)
+	if err != nil {
+		return err
+	}
+	dir := append(append([]dirEntry(nil), oldFtr.dir...), dirEntry{
+		offset: uint64(oldFtr.start), length: uint64(length),
+		seqLo: uint32(suffix.SeqLo), seqHi: uint32(suffix.SeqHi),
+		dataLo: uint64(suffix.DataLo), dataHi: uint64(suffix.DataHi),
+		crc: crc,
+	})
+	buf.Write(encodeFooterV3(BankChecksum(grown), uint64(len(grown.Data)), grown.SeqChecksums(), dir))
+	if _, err := f.WriteAt(buf.Bytes(), oldFtr.start); err != nil {
+		return err
+	}
+	if err := f.Truncate(oldFtr.start + int64(buf.Len())); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, newPath)
+}

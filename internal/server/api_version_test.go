@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestVersionedAPISurface: every scorisd route answers identically at
+// /v1/<path> and at its bare legacy alias — byte-identical compare
+// output included — with the alias marked deprecated.
+func TestVersionedAPISurface(t *testing.T) {
+	est1, est2, _ := testBanks(t)
+	srv := New(Config{MaxConcurrent: 2})
+	if err := srv.RegisterBank("est1", est1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterBank("est2", est2, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"db":"est1","query":"est2"}`
+	post := func(t *testing.T, path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	v1, v1out := post(t, "/v1/compare")
+	legacy, legacyOut := post(t, "/compare")
+	if v1.StatusCode != http.StatusOK || legacy.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d/%d: %s / %s", v1.StatusCode, legacy.StatusCode, v1out, legacyOut)
+	}
+	if len(v1out) == 0 || !bytes.Equal(v1out, legacyOut) {
+		t.Fatalf("compare output differs across surfaces (%d vs %d bytes)", len(v1out), len(legacyOut))
+	}
+	want := serialORIS(t, est1, est2, srv.Config().RequestWorkers, false)
+	if !bytes.Equal(v1out, want) {
+		t.Fatal("/v1/compare output differs from the serial engine bytes")
+	}
+	if v1.Header.Get("Deprecation") != "" {
+		t.Error("/v1/compare marked deprecated")
+	}
+	if legacy.Header.Get("Deprecation") != "true" {
+		t.Error("legacy /compare missing the Deprecation header")
+	}
+
+	// The read-only routes alias too.
+	for _, path := range []string{"/banks", "/stats", "/healthz", "/readyz"} {
+		respV1, err := http.Get(ts.URL + "/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		respV1.Body.Close()
+		respLegacy, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		respLegacy.Body.Close()
+		if respV1.StatusCode != respLegacy.StatusCode {
+			t.Errorf("%s: status %d under /v1, %d bare", path, respV1.StatusCode, respLegacy.StatusCode)
+		}
+		if respLegacy.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: legacy alias not marked deprecated", path)
+		}
+	}
+}

@@ -58,6 +58,7 @@ import (
 	"repro/internal/blat"
 	"repro/internal/core"
 	"repro/internal/fasta"
+	"repro/internal/httpapi"
 	"repro/internal/ixcache"
 	"repro/internal/ixdisk"
 	"repro/internal/stats"
@@ -355,7 +356,11 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Draining reports whether the server has begun graceful shutdown.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP mux. Every route is served under
+// the versioned /v1/ prefix (the stable surface) and, identically, at
+// its bare legacy path — a deprecated alias that sets a Deprecation
+// header so pre-versioning clients keep working while being told to
+// move (see internal/httpapi).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/banks", s.countRequests(s.handleBanks))
@@ -370,7 +375,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.HandleFunc("/readyz", s.countRequests(s.handleReadyz))
-	return mux
+	return httpapi.Versioned(mux)
 }
 
 // handleReadyz is the readiness probe: 200 while the server can take
