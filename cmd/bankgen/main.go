@@ -76,24 +76,24 @@ func main() {
 	}
 }
 
-func writeBank(b *bank.Bank, path string) error {
+func writeBank(b *bank.Bank, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := fasta.NewWriter(f)
 	for i := 0; i < b.NumSeqs(); i++ {
 		rec := &fasta.Record{ID: b.SeqID(i), Desc: b.SeqDesc(i), Seq: dna.Decode(b.SeqCodes(i))}
 		if err := w.Write(rec); err != nil {
-			f.Close()
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return w.Flush()
 }
 
 func fatal(err error) {

@@ -213,21 +213,21 @@ func (w *Writer) Write(rec *Record) error {
 func (w *Writer) Flush() error { return w.w.Flush() }
 
 // WriteFile writes records to a FASTA file, creating or truncating it.
-func WriteFile(path string, recs []*Record) error {
+func WriteFile(path string, recs []*Record) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := NewWriter(f)
 	for _, r := range recs {
 		if err := w.Write(r); err != nil {
-			f.Close()
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return w.Flush()
 }

@@ -107,6 +107,8 @@ func (p *Proxy) serveOn(ln net.Listener) {
 	p.mu.Lock()
 	p.srv = srv
 	p.mu.Unlock()
+	// background: accept loop; terminated by Kill/Close, which
+	// srv.Close()s this server and its listener.
 	go srv.Serve(ln)
 }
 

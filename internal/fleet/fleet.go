@@ -453,6 +453,8 @@ func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		}
 		// Settle the new worker's true state promptly (it registered
 		// optimistically Up).
+		// background: one-shot probe bounded by ProbeTimeout; the
+		// periodic health loop owns steady-state probing.
 		go rt.probeWorkerByName(req.Name)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{"registered": req.Name})

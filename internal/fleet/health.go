@@ -16,6 +16,8 @@ import (
 func (rt *Router) Start() {
 	rt.startOnce.Do(func() {
 		rt.started.Store(true)
+		// background: runs until Stop closes stopProbes; Stop joins it
+		// through probesDone.
 		go rt.probeLoop()
 	})
 }

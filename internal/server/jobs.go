@@ -223,6 +223,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.jobs[id] = j
 		s.jobMu.Unlock()
 		s.jobsCreated.Add(1)
+		// background: tracked in s.jobs (bounded by MaxJobs) until a
+		// terminal state; cancellable via ctx from DELETE /jobs/{id}.
 		go s.runJob(ctx, j, db, query)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)

@@ -103,6 +103,7 @@ func (s *Server) streamCompare(ctx context.Context, w http.ResponseWriter, db, q
 	}()
 
 	wroteHeader := false
+	//scorislint:ignore ctxloop bounded by close(chunks): the producer goroutine above is ctx-aware and always closes the channel on its way out
 	for buf := range chunks {
 		if !wroteHeader {
 			writeStreamHeader(w)
@@ -186,6 +187,7 @@ func (s *Server) runCompareStream(ctx context.Context, db, query *bank.Bank, req
 			return err
 		}
 		hi := lo
+		//scorislint:ignore ctxloop bounded scan over as; the enclosing per-sequence loop checks ctx.Err each group
 		for hi < len(as) && int(as[hi].Seq2) == seq2 {
 			hi++
 		}

@@ -201,16 +201,17 @@ func Read(r io.Reader) ([]Record, error) {
 }
 
 // WriteFile writes records to a file.
-func WriteFile(path string, recs []Record) error {
+func WriteFile(path string, recs []Record) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, recs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return Write(f, recs)
 }
 
 // ReadFile reads all records from a file.
