@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerAtomicMix enforces the memory-model half of the repo's
+// counter discipline: a variable or field whose address is ever passed
+// to a sync/atomic function must be accessed through sync/atomic
+// everywhere — one plain read or write elsewhere is a data race the
+// race detector only catches when the schedule cooperates. (The typed
+// atomic.Int64-style values the tree prefers are safe by construction
+// and are not in scope; this guards the function-API escape hatch.)
+//
+// The check is module-wide: the collection pass sees every package
+// before the verification pass runs, so an atomic site in one package
+// poisons plain access in all others.
+var AnalyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain reads/writes of locations that are accessed through sync/atomic functions anywhere in the module",
+	Run:  runAtomicMix,
+}
+
+// atomicKey identifies a memory location across packages by stable
+// strings (types.Object identity does not survive the export-data
+// round trip between a package's own check and its importers).
+type atomicKey string
+
+// atomicSite records where a location was first seen used atomically.
+type atomicSite struct {
+	pos  token.Pos
+	fset *token.FileSet
+	desc string
+}
+
+func runAtomicMix(pass *Pass) {
+	sites := map[atomicKey]atomicSite{}
+	allowed := map[ast.Node]bool{}
+
+	// Pass 1: collect every &loc argument of a sync/atomic function
+	// call. The argument expressions themselves are the allowed
+	// accesses.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // typed atomics (atomic.Int64 methods) are safe by construction
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(u.X)
+					key, desc, ok := atomicKeyOf(pkg, target)
+					if !ok {
+						continue
+					}
+					if _, seen := sites[key]; !seen {
+						sites[key] = atomicSite{pos: target.Pos(), fset: pass.Fset, desc: desc}
+					}
+					allowed[target] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to a collected location is mixing.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				// Struct-literal keys name the field object but are
+				// construction, not access; skip the key identifier.
+				if kv, ok := n.(*ast.KeyValueExpr); ok {
+					if id, isIdent := kv.Key.(*ast.Ident); isIdent {
+						allowed[id] = true
+					}
+					return true
+				}
+				e, ok := n.(ast.Expr)
+				if !ok || allowed[n] {
+					return true
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+				default:
+					return true
+				}
+				key, _, ok := atomicKeyOf(pkg, e)
+				if !ok {
+					return true
+				}
+				site, hot := sites[key]
+				if !hot {
+					return true
+				}
+				// The selector inside an allowed &x.f is visited
+				// separately from the UnaryExpr; tolerate it.
+				if allowed[e] {
+					return true
+				}
+				at := site.fset.Position(site.pos)
+				pass.Reportf(e.Pos(), "plain access to %s, which is accessed via sync/atomic at %s:%d: mixing atomic and non-atomic access is a data race", site.desc, at.Filename, at.Line)
+				return false
+			})
+		}
+	}
+}
+
+// atomicKeyOf maps an addressable expression to a module-stable key:
+// struct fields key by (package, named type, field), package-level
+// variables by (package, name), and function-local variables by object
+// identity (they cannot be shared across packages).
+func atomicKeyOf(pkg *Package, e ast.Expr) (atomicKey, string, bool) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pkg.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return "", "", false
+		}
+		if obj.IsField() {
+			recv := typeOf(pkg.Info, x.X)
+			named, ok := deref(recv).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return "", "", false
+			}
+			desc := fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Name(), named.Obj().Name(), obj.Name())
+			return atomicKey("field:" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + obj.Name()), desc, true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return atomicKey("var:" + obj.Pkg().Path() + "." + obj.Name()), obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return "", "", false
+	case *ast.Ident:
+		// Uses only: a declaration (Defs) is construction, and
+		// initializing an eventually-atomic variable is fine.
+		obj, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			return "", "", false
+		}
+		if obj.IsField() {
+			return "", "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return atomicKey("var:" + obj.Pkg().Path() + "." + obj.Name()), obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return atomicKey(fmt.Sprintf("local:%p", obj)), obj.Name(), true
+	}
+	return "", "", false
+}

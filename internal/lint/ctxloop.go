@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxLoop enforces the cancellation contract of the streaming
+// paths (DESIGN.md §10): a function that accepts a context.Context
+// promises its callers cancellability, so any loop in it that is not
+// visibly bounded — `for {}`, `for cond {}`, or ranging over a channel
+// — must consult a context somewhere in its header or body (ctx.Err,
+// ctx.Done in a select, or passing ctx to a callee that checks).
+// Three-clause for loops and range over data are treated as bounded.
+//
+// This is the machine check behind "streamed compares must stay
+// ctx-cancellable": the step-2 chunk-claim loop, CompareStream's group
+// loop, and the fleet retry/relay loops all carry a context and must
+// keep consulting it as they evolve.
+var AnalyzerCtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded loops in context-carrying functions must consult a context (cancellation contract of the compare/relay paths)",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, fn := range functionsIn(f) {
+				if !hasCtxParam(pkg, fn.typ) {
+					continue
+				}
+				inspectShallow(fn.body, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.ForStmt:
+						// A three-clause loop manages its own bound.
+						if st.Init != nil || st.Post != nil {
+							return true
+						}
+						if !mentionsContext(pkg, st) {
+							pass.Reportf(st.Pos(), "unbounded loop in a context-carrying function never consults a context: compare and relay paths must stay cancellable (DESIGN.md §10)")
+						}
+					case *ast.RangeStmt:
+						t := typeOf(pkg.Info, st.X)
+						if t == nil {
+							return true
+						}
+						if _, isChan := t.Underlying().(*types.Chan); !isChan {
+							return true
+						}
+						if !mentionsContext(pkg, st) {
+							pass.Reportf(st.Pos(), "channel-range loop in a context-carrying function never consults a context: compare and relay paths must stay cancellable (DESIGN.md §10)")
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pkg *Package, typ *ast.FuncType) bool {
+	if typ == nil || typ.Params == nil {
+		return false
+	}
+	for _, field := range typ.Params.List {
+		if t := typeOf(pkg.Info, field.Type); t != nil && isNamed(t, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsContext reports whether any expression of type
+// context.Context appears anywhere in n (header or body, nested
+// closures included: a loop that hands ctx to anything is consulting
+// it in the only sense a lexical check can certify).
+func mentionsContext(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr:
+			if t := typeOf(pkg.Info, e); t != nil && isNamed(t, "context", "Context") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,200 @@
+// Package lint is scorislint: a suite of repo-specific static
+// analyzers that machine-check the index/concurrency contracts this
+// codebase documents in prose but, before this package, enforced only
+// by review. Each analyzer encodes one invariant (see DESIGN.md §11
+// for the analyzer ↔ contract map):
+//
+//   - indeximmut: a built index.Index / ixcache.Prepared is immutable
+//     and may alias a read-only .orix mmap (DESIGN.md §5, §7)
+//   - atomicmix: a location touched through sync/atomic functions is
+//     never read or written non-atomically elsewhere
+//   - ctxloop: unbounded loops in context-carrying functions consult
+//     their context, so compare paths stay cancellable (DESIGN.md §10)
+//   - checkedflush: buffered-writer Flush and write-handle Close
+//     errors are consumed on output paths (the silent-m8-truncation
+//     regression class fixed in PR 5)
+//   - versionedmount: HTTP handlers are mounted through
+//     httpapi.Versioned so the /v1 + deprecated-alias pair cannot
+//     drift (DESIGN.md §8)
+//   - goexit: every spawned goroutine has a visible lifecycle —
+//     WaitGroup join, channel send/close/receive, ctx.Done — or an
+//     explicit "// background:" justification
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, testdata fixtures with "// want"
+// expectations) but is built on the standard library only: packages
+// are loaded with `go list -export` and type-checked against gc
+// export data (see load.go), so the linter needs no dependencies
+// beyond the toolchain that builds the repo.
+//
+// Findings are suppressed, one site at a time, with an inline
+// directive that names the analyzer and must carry a justification:
+//
+//	//scorislint:ignore ctxloop bounded by the retry cap above
+//
+// on the flagged line or the line immediately before it. A directive
+// without a justification does not suppress anything and is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Pass is a module-wide analysis pass: one analyzer over every loaded
+// package at once, so cross-package invariants (atomicmix) see the
+// whole tree.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full scorislint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerIndexImmut,
+		AnalyzerAtomicMix,
+		AnalyzerCtxLoop,
+		AnalyzerCheckedFlush,
+		AnalyzerVersionedMount,
+		AnalyzerGoExit,
+	}
+}
+
+// ignoreDirective is one parsed //scorislint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	file     string
+	line     int // line the directive suppresses (its own line, or the next for full-line comments)
+}
+
+const ignorePrefix = "scorislint:ignore"
+
+// parseIgnores extracts every ignore directive from the loaded files.
+func parseIgnores(fset *token.FileSet, pkgs []*Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					// A nested // starts a comment-within-the-comment
+					// (fixture "// want" markers); it is not a reason.
+					if i := strings.Index(rest, "//"); i >= 0 {
+						rest = strings.TrimSpace(rest[:i])
+					}
+					name, reason, _ := strings.Cut(rest, " ")
+					pos := fset.Position(c.Pos())
+					out = append(out, ignoreDirective{
+						analyzer: name,
+						reason:   strings.TrimSpace(reason),
+						pos:      pos,
+						file:     pos.Filename,
+						line:     pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the loaded packages, applies ignore
+// directives, and returns the surviving findings sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Pkgs: pkgs, diags: &diags}
+		a.Run(pass)
+	}
+
+	// A directive on line L suppresses findings on L and L+1: a
+	// trailing comment sits on the flagged line itself, a full-line
+	// comment sits on the line before it.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	suppressed := map[key]bool{}
+	for _, d := range parseIgnores(fset, pkgs) {
+		if d.analyzer == "" || d.reason == "" {
+			diags = append(diags, Diagnostic{
+				Analyzer: "scorislint",
+				Pos:      d.pos,
+				Message:  "scorislint:ignore directive needs an analyzer name and a justification: //scorislint:ignore <analyzer> <reason>",
+			})
+			continue
+		}
+		suppressed[key{d.file, d.line, d.analyzer}] = true
+		suppressed[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if suppressed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

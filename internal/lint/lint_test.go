@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is proven twice: a clean fixture it must stay silent
+// on, and a seeded-violation fixture where every finding must match a
+// `// want` expectation (and every expectation must be found).
+
+func TestIndexImmut(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerIndexImmut, "testdata/src/indeximmut/clean")
+	linttest.Run(t, lint.AnalyzerIndexImmut, "testdata/src/indeximmut/bad")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerAtomicMix, "testdata/src/atomicmix/clean")
+	linttest.Run(t, lint.AnalyzerAtomicMix, "testdata/src/atomicmix/bad")
+}
+
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerCtxLoop, "testdata/src/ctxloop/clean")
+	linttest.Run(t, lint.AnalyzerCtxLoop, "testdata/src/ctxloop/bad")
+}
+
+func TestCheckedFlush(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerCheckedFlush, "testdata/src/checkedflush/clean")
+	linttest.Run(t, lint.AnalyzerCheckedFlush, "testdata/src/checkedflush/bad")
+}
+
+func TestVersionedMount(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerVersionedMount, "testdata/src/versionedmount/clean")
+	linttest.Run(t, lint.AnalyzerVersionedMount, "testdata/src/versionedmount/bad")
+}
+
+func TestGoExit(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerGoExit, "testdata/src/goexit/clean")
+	linttest.Run(t, lint.AnalyzerGoExit, "testdata/src/goexit/bad")
+}
+
+// TestIgnoreDirectives exercises the suppression mechanism: justified
+// directives silence exactly their analyzer, reason-less ones suppress
+// nothing and are themselves findings.
+func TestIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerCtxLoop, "testdata/src/directives")
+}
+
+// TestTreeIsClean runs the full suite over the whole module, so plain
+// `go test ./...` enforces every machine-checked invariant even where
+// CI's dedicated lint job is not in the loop. A violation anywhere in
+// the tree fails this test with the same file:line message scorislint
+// would print.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint skipped in -short mode")
+	}
+	l := linttest.ModuleLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("suspiciously few packages loaded (%d): loader is not seeing the module", len(pkgs))
+	}
+	for _, d := range lint.Run(l.Fset(), pkgs, lint.Analyzers()) {
+		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Loading without golang.org/x/tools: the repo has no third-party
+// dependencies, so scorislint resolves imports the way the toolchain
+// itself does — `go list -export` compiles every package (cheap and
+// cached: it is the same work `go build` already did) and reports the
+// path of its gc export data in the build cache. Target packages are
+// then parsed and type-checked from source with go/types, importing
+// every dependency (stdlib and module-internal alike) through
+// importer.ForCompiler("gc", lookup) over that export map.
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+const listFields = "ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error"
+
+// goList runs `go list -e -export -deps` in dir over patterns and
+// decodes the package stream.
+func goList(dir string, patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-json=" + listFields, "-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportResolver maps import paths to gc export data files, listing
+// lazily on a miss (fixture packages may import stdlib packages the
+// module itself does not).
+type exportResolver struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func newExportResolver(dir string) *exportResolver {
+	return &exportResolver{dir: dir, exports: map[string]string{}}
+}
+
+func (r *exportResolver) add(pkgs []listPkg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup satisfies the importer.ForCompiler lookup contract.
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	f, ok := r.exports[path]
+	r.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(r.dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %v", path, err)
+		}
+		r.add(pkgs)
+		r.mu.Lock()
+		f, ok = r.exports[path]
+		r.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for import %q (does it compile?)", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// Loader loads and type-checks packages of the module rooted at Dir.
+type Loader struct {
+	Dir string
+
+	fset     *token.FileSet
+	resolver *exportResolver
+	imp      types.Importer
+}
+
+// NewLoader returns a loader for the module rooted at dir ("." for
+// the current directory; the go command resolves the enclosing
+// module).
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet()}
+	l.resolver = newExportResolver(dir)
+	l.imp = importer.ForCompiler(l.fset, "gc", l.resolver.lookup)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load lists patterns, then parses and type-checks every matched
+// package of the main module (dependencies are consumed as export
+// data, not re-checked; test files are not analyzed). The tree must
+// compile: any list or type error aborts the load.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := goList(l.Dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	l.resolver.add(listed)
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Standard || p.DepOnly || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		var paths []string
+		for _, g := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		files, err := parseFiles(l.fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.Check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses source files with comments retained (the ignore
+// and background directives live there).
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks parsed files as one package under path, resolving
+// imports through the loader's export map. Used both by Load and by
+// the fixture runner (which checks testdata packages that go list
+// never sees).
+func (l *Loader) Check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// CheckDir parses every .go file directly inside dir and type-checks
+// them as one package under importPath — the fixture entry point.
+func (l *Loader) CheckDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	files, err := parseFiles(l.fset, paths)
+	if err != nil {
+		return nil, err
+	}
+	return l.Check(importPath, files)
+}
+
+// Prime pre-lists the module's own dependency closure so fixture
+// packages resolve module-internal imports without per-import listing.
+func (l *Loader) Prime() error {
+	listed, err := goList(l.Dir, "./...")
+	if err != nil {
+		return err
+	}
+	l.resolver.add(listed)
+	return nil
+}

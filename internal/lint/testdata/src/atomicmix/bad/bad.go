@@ -1,0 +1,32 @@
+// Package fixture seeds the mixed atomic/plain access classes the
+// atomicmix analyzer must catch, for a struct field, a package-level
+// variable, and a function local.
+package fixture
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) leak() int64 {
+	return c.n // want `plain access to fixture\.counter\.n`
+}
+
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func slip() {
+	hits++ // want `plain access to fixture\.hits`
+}
+
+func local(signal chan struct{}) int64 {
+	var flips int64
+	go func() {
+		atomic.AddInt64(&flips, 1)
+		signal <- struct{}{}
+	}()
+	<-signal
+	return flips // want `plain access to flips`
+}

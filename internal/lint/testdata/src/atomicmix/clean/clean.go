@@ -1,0 +1,31 @@
+// Package fixture holds atomic-access discipline the atomicmix
+// analyzer must stay silent on: consistent function-API use, typed
+// atomics, and composite-literal construction.
+package fixture
+
+import "sync/atomic"
+
+type cleanCounter struct {
+	n    int64
+	hits atomic.Int64
+}
+
+// Consistent sync/atomic access from everywhere is the contract.
+func (c *cleanCounter) inc()       { atomic.AddInt64(&c.n, 1) }
+func (c *cleanCounter) get() int64 { return atomic.LoadInt64(&c.n) }
+
+// Typed atomics are safe by construction and out of scope.
+func (c *cleanCounter) typed() int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+// A composite literal initializes; it does not race with anything.
+func construct() *cleanCounter {
+	return &cleanCounter{n: 0}
+}
+
+var total int64
+
+func addTotal()        { atomic.AddInt64(&total, 1) }
+func readTotal() int64 { return atomic.LoadInt64(&total) }

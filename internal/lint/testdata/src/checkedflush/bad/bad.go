@@ -1,0 +1,54 @@
+// Package fixture seeds the silent-truncation classes the
+// checkedflush analyzer must catch (the PR 5 bug class: ENOSPC behind
+// a zero exit status).
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fasta"
+)
+
+func bareFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "row")
+	bw.Flush() // want `Flush error discarded`
+}
+
+func deferredFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() // want `Flush error deferred`
+	fmt.Fprintln(bw, "row")
+}
+
+// Any single-error Flush counts, repo writers included.
+func fastaFlush(w io.Writer) {
+	fw := fasta.NewWriter(w)
+	fw.Flush() // want `Flush error discarded`
+}
+
+func bareClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // want `Close error discarded`
+		return err
+	}
+	f.Close() // want `Close error discarded`
+	return nil
+}
+
+func lonelyDefer(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `no checked Close elsewhere`
+	_, err = f.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,65 @@
+// Package fixture holds output-path idioms the checkedflush analyzer
+// must stay silent on.
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// The checked flush.
+func checked(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "row")
+	return bw.Flush()
+}
+
+// http.Flusher.Flush returns nothing; there is no error to drop.
+func httpFlush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// The defer-join idiom: the close error lands in the named return.
+func writeFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// The backstop idiom: a deferred discard is fine when the success
+// path checks Close (double Close of an os.File is a cheap ErrClosed).
+func backstop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read-side handles may discard Close: nothing buffered can be lost.
+func readSide(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var buf [16]byte
+	return f.Read(buf[:])
+}

@@ -1,0 +1,25 @@
+// Package fixture seeds the cancellation-blind loop classes the
+// ctxloop analyzer must catch: a function accepts a ctx, promising
+// cancellability, then loops without ever consulting one.
+package fixture
+
+import "context"
+
+func spinForever(ctx context.Context, work func()) {
+	for { // want `never consults a context`
+		work()
+	}
+}
+
+func whileLoop(ctx context.Context, next func() bool) {
+	for next() { // want `never consults a context`
+	}
+}
+
+func chanRange(ctx context.Context, in chan int) int {
+	sum := 0
+	for v := range in { // want `channel-range loop`
+		sum += v
+	}
+	return sum
+}

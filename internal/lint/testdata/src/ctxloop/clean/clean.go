@@ -1,0 +1,63 @@
+// Package fixture holds cancellation-correct loops the ctxloop
+// analyzer must stay silent on.
+package fixture
+
+import "context"
+
+// The canonical pump: unbounded loop, every turn can be cancelled.
+func pump(ctx context.Context, in <-chan int, out chan<- int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case v, ok := <-in:
+			if !ok {
+				return nil
+			}
+			out <- v
+		}
+	}
+}
+
+// A channel range that consults ctx inside the body.
+func drain(ctx context.Context, in <-chan int) int {
+	sum := 0
+	for v := range in {
+		if ctx.Err() != nil {
+			break
+		}
+		sum += v
+	}
+	return sum
+}
+
+// Passing ctx to a callee that checks is consulting it.
+func retry(ctx context.Context, attempt func(context.Context) error) error {
+	for {
+		if err := attempt(ctx); err == nil {
+			return nil
+		}
+	}
+}
+
+// Three-clause loops and ranges over data are bounded; no ctx needed.
+func bounded(ctx context.Context, xs []int) int {
+	_ = ctx
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Functions without a ctx parameter made no cancellation promise.
+func noPromise(in chan int) int {
+	sum := 0
+	for v := range in {
+		sum += v
+	}
+	return sum
+}

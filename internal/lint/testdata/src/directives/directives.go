@@ -1,0 +1,30 @@
+// Package fixture exercises the suppression mechanism itself: a
+// justified //scorislint:ignore silences exactly its analyzer on the
+// next line, and a reason-less directive suppresses nothing and is
+// reported in its own right.
+package fixture
+
+import "context"
+
+func justified(ctx context.Context, work func() bool) {
+	//scorislint:ignore ctxloop bounded by the retry budget inside work; cancellation is handled one frame up
+	for work() {
+	}
+}
+
+func trailing(ctx context.Context, work func() bool) {
+	for work() { //scorislint:ignore ctxloop bounded by the retry budget inside work
+	}
+}
+
+func wrongAnalyzer(ctx context.Context, work func() bool) {
+	//scorislint:ignore goexit the wrong name does not suppress ctxloop
+	for work() { // want `never consults a context`
+	}
+}
+
+func naked(ctx context.Context, work func() bool) {
+	//scorislint:ignore ctxloop // want `needs an analyzer name and a justification`
+	for work() { // want `never consults a context`
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture seeds the fire-and-forget goroutine classes the
+// goexit analyzer must catch.
+package fixture
+
+func fireAndForget(log func(string)) {
+	go func() { // want `without a visible lifecycle`
+		log("started")
+	}()
+}
+
+func namedNoComment(task func()) {
+	go task() // want `named function hides its lifecycle`
+}
+
+func nakedBackground(task func()) {
+	// background:
+	go task() // want `named function hides its lifecycle`
+}

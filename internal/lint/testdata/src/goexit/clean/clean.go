@@ -1,0 +1,70 @@
+// Package fixture holds the accepted goroutine lifecycles the goexit
+// analyzer must stay silent on.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitGroup join.
+func joined(items []int, handle func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			handle(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// Channel send: the receiver joins.
+func channelJoin(compute func() int) <-chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- compute()
+	}()
+	return done
+}
+
+// Close: consumers range until the producer is finished.
+func producer(vals []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range vals {
+			ch <- v
+		}
+	}()
+	return ch
+}
+
+// Context consult: bounded by the canceller.
+func ctxBounded(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+// Channel receive: bounded by the closer.
+func waiter(stop chan struct{}, cleanup func()) {
+	go func() {
+		<-stop
+		cleanup()
+	}()
+}
+
+// The escape hatch: an explicit justification.
+func justified(metrics func()) {
+	// background: process-lifetime metrics pump; exits with the process.
+	go metrics()
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+const httpapiPkgPath = "repro/internal/httpapi"
+
+// AnalyzerVersionedMount enforces the API-versioning contract of
+// DESIGN.md §8: every HTTP surface is mounted through
+// httpapi.Versioned, which serves one handler at both /v1/<path>
+// (canonical) and the bare legacy alias (with deprecation headers) so
+// the two can never drift apart. A function that registers handlers
+// on a raw *http.ServeMux without passing a mux through
+// httpapi.Versioned — or that registers on net/http's global
+// DefaultServeMux at all — is mounting an unversioned surface.
+//
+// Package httpapi itself is exempt: it is the one place the raw
+// double-mount is implemented.
+var AnalyzerVersionedMount = &Analyzer{
+	Name: "versionedmount",
+	Doc:  "HTTP handlers must be mounted through httpapi.Versioned so the /v1 + deprecated-alias pair cannot drift (DESIGN.md §8)",
+	Run:  runVersionedMount,
+}
+
+func runVersionedMount(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if pkg.Path == httpapiPkgPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			// Only walk declarations; a FuncLit's registrations are
+			// attributed to the enclosing declaration, where the
+			// Versioned wrap (if any) also lexically lives.
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkMountsIn(pass, pkg, fd.Body)
+			}
+		}
+	}
+}
+
+func checkMountsIn(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	var rawMounts []*ast.CallExpr
+	versioned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(pkg.Info, call, httpapiPkgPath, "Versioned") {
+			versioned = true
+			return true
+		}
+		// Global-mux registration is never versioned; flag outright.
+		if isPkgFunc(pkg.Info, call, "net/http", "Handle") || isPkgFunc(pkg.Info, call, "net/http", "HandleFunc") {
+			pass.Reportf(call.Pos(), "handler registered on net/http's DefaultServeMux: mount through httpapi.Versioned on an explicit mux so /v1 and the deprecated alias stay paired (DESIGN.md §8)")
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+			return true
+		}
+		if t := typeOf(pkg.Info, sel.X); t != nil && isNamed(t, "net/http", "ServeMux") {
+			rawMounts = append(rawMounts, call)
+		}
+		return true
+	})
+	if versioned {
+		return
+	}
+	for _, call := range rawMounts {
+		pass.Reportf(call.Pos(), "handler mounted on a raw *http.ServeMux in a function that never calls httpapi.Versioned: the /v1 + deprecated-alias pair must come from one mount (DESIGN.md §8)")
+	}
+}
