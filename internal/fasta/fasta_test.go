@@ -182,7 +182,9 @@ func TestWriterSingleLine(t *testing.T) {
 	if err := w.Write(&Record{ID: "x", Desc: "d", Seq: []byte("ACGT")}); err != nil {
 		t.Fatal(err)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if buf.String() != ">x d\nACGT\n" {
 		t.Errorf("got %q", buf.String())
 	}
@@ -239,7 +241,9 @@ func TestRoundTripRandomRecords(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	out, err := ParseAll(buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +281,9 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 				t.Fatalf("trial %d: write: %v", trial, err)
 			}
 		}
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			t.Fatalf("trial %d: flush: %v", trial, err)
+		}
 		back, err := ParseAll(buf.Bytes())
 		if err != nil {
 			t.Fatalf("trial %d: reparse: %v", trial, err)

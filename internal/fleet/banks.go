@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/bank"
@@ -78,6 +79,10 @@ func (rt *Router) handleBanks(w http.ResponseWriter, r *http.Request) {
 			info := rt.infoFor(rec)
 			infos = append(infos, info)
 		}
+		// The records came out of a map: sort so the listing is
+		// byte-deterministic (the byte-identity invariant applies to
+		// every JSON surface, not just compare output).
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(infos)
 	case http.MethodPost:

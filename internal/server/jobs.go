@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 
@@ -177,6 +178,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			list = append(list, j.status())
 		}
 		s.jobMu.Unlock()
+		// The registry is a map: sort by id so the listing is
+		// byte-deterministic.
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(list)
 	case http.MethodPost:

@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -173,7 +174,7 @@ type Server struct {
 	sessions *sessionPool
 
 	mu    sync.RWMutex
-	banks map[string]*bankEntry
+	banks map[string]*bankEntry // guardedby: mu
 
 	// sem has MaxConcurrent slots: holding one is the right to run a
 	// compare. admitted counts running + waiting requests; admission
@@ -191,7 +192,7 @@ type Server struct {
 
 	// Async job registry (POST /jobs); see jobs.go.
 	jobMu         sync.Mutex
-	jobs          map[string]*job
+	jobs          map[string]*job // guardedby: jobMu
 	jobSeq        atomic.Int64
 	jobsCreated   atomic.Int64
 	jobsCompleted atomic.Int64
@@ -204,7 +205,7 @@ type Server struct {
 	draining atomic.Bool
 
 	gcMu   sync.Mutex
-	lastGC *ixdisk.GCStats
+	lastGC *ixdisk.GCStats // guardedby: gcMu
 
 	// testHoldCompare, when non-nil, is received from inside the
 	// admitted section of every compare — the hook that lets tests park
@@ -448,6 +449,9 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		s.mu.RUnlock()
+		// The bank table is a map: sort so the listing is
+		// byte-deterministic.
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(infos)
 	case http.MethodPost:
@@ -518,6 +522,8 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 // ceremony. A FASTA body returns its parsed records (isFasta true); a
 // JSON body returns the request with Path set — the caller loads the
 // file. Shared with FuzzParseBankBody.
+//
+//scorislint:validator
 func parseBankBody(body []byte) (req bankRequest, recs []*fasta.Record, isFasta bool, err error) {
 	if !bytes.HasPrefix(bytes.TrimLeft(body, " \t\r\n"), []byte(">")) {
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -608,6 +614,8 @@ func (s *Server) clampWorkers(req *int) int {
 // structural validation that needs no registry: self/query exclusivity,
 // known format, stream×format compatibility. Shared with
 // FuzzParseCompareRequest.
+//
+//scorislint:validator
 func parseCompareRequest(body []byte, accept string) (compareRequest, error) {
 	var req compareRequest
 	if err := json.Unmarshal(body, &req); err != nil {

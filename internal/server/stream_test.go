@@ -165,6 +165,7 @@ func TestServerStreamedCompareEmitsEarly(t *testing.T) {
 
 	// Open the gate and drain; the total must equal the buffered run.
 	stop := make(chan struct{})
+	// background: feedGate returns once the deferred close(stop) fires.
 	go feedGate(gate, stop)
 	defer close(stop)
 	rest, err := io.ReadAll(br)
@@ -445,6 +446,7 @@ func TestServerJobResultFollowsLive(t *testing.T) {
 		t.Fatalf("mid-flight job status: %+v", st)
 	}
 	stop := make(chan struct{})
+	// background: feedGate returns once the deferred close(stop) fires.
 	go feedGate(gate, stop)
 	defer close(stop)
 
@@ -513,6 +515,8 @@ func TestServerJobRegistryBound(t *testing.T) {
 	defer ts.Close()
 
 	// Occupy the only worker slot.
+	// background: the compare returns once close(hold) releases it, and
+	// the deferred ts.Close waits for the handler to finish.
 	go func() {
 		resp, err := http.Post(ts.URL+"/compare", "application/json",
 			strings.NewReader(`{"db":"est1","query":"est2"}`))
