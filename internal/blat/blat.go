@@ -153,6 +153,61 @@ func CompareWithIndex(pdb *ixcache.Prepared, queries *bank.Bank, opt Options) (*
 	return compareWithIndex(pdb.Bank, pdb.Ix, queries, opt)
 }
 
+// tileProbe is the per-window probe state of one query scan: the
+// stable pieces (index, extender, diagonal arrays) are set once per
+// search, the per-query fields before each ForEach walk. Extracting
+// the callback into a method keeps the per-element path in one named,
+// hotpath-checked function instead of a closure rebuilt per query.
+type tileProbe struct {
+	ix       *index.Index
+	ext      *hsp.Extender
+	met      *Metrics
+	d1, d2   []byte
+	diagGen  []int32
+	diagEnd  []int32
+	w        int32
+	minScore int32
+
+	// per-query state, reset before each scan
+	maskPfx []int32
+	qLo     int32
+	qHi     int32
+	diagOff int32
+	gen     int32
+	hsps    []hsp.HSP
+}
+
+// probe handles one query window: dust test, then a flat walk of the
+// tile's contiguous CSR occurrence slice — sequential reads instead of
+// a Head/NextPos chain walk — extending only windows that beat the
+// per-diagonal high-water mark.
+//
+//scorislint:hotpath
+func (tp *tileProbe) probe(rel int32, c seed.Code) {
+	tp.met.QueryPositions++
+	if tp.maskPfx != nil && tp.maskPfx[rel+tp.w] != tp.maskPfx[rel] {
+		return
+	}
+	qPos := tp.qLo + rel
+	tLo, tHi := tp.ix.OccRange(c)
+	for k := tLo; k < tHi; k++ {
+		p := tp.ix.Pos[k]
+		tp.met.TileHits++
+		diag := p - rel + tp.diagOff
+		if tp.diagGen[diag] == tp.gen && tp.diagEnd[diag] > p {
+			tp.met.SkippedByDiag++
+			continue
+		}
+		tp.met.Extensions++
+		h, _ := tp.ext.Extend(tp.d1, tp.d2, p, qPos, tp.ix.OccLo[k], tp.ix.OccHi[k], tp.qLo, tp.qHi, c, nil)
+		tp.diagGen[diag] = tp.gen
+		tp.diagEnd[diag] = h.E1
+		if h.Score >= tp.minScore {
+			tp.hsps = append(tp.hsps, h)
+		}
+	}
+}
+
 // compareWithIndex is the engine body on a prebuilt tile index.
 func compareWithIndex(db *bank.Bank, ix *index.Index, queries *bank.Bank, opt Options) (*Result, error) {
 	ka, err := stats.Ungapped(opt.Scoring.Match, opt.Scoring.Mismatch)
@@ -191,6 +246,18 @@ func compareWithIndex(db *bank.Bank, ix *index.Index, queries *bank.Bank, opt Op
 	var all []align.Alignment
 	w := int32(opt.W)
 
+	tp := &tileProbe{
+		ix:       ix,
+		ext:      &ext,
+		met:      &met,
+		d1:       d1,
+		d2:       d2,
+		diagGen:  diagGen,
+		diagEnd:  diagEnd,
+		w:        w,
+		minScore: opt.MinUngappedScore,
+	}
+
 	for qi := 0; qi < queries.NumSeqs(); qi++ {
 		qLo, qHi := queries.SeqBounds(qi)
 		if qHi-qLo < w {
@@ -206,35 +273,12 @@ func compareWithIndex(db *bank.Bank, ix *index.Index, queries *bank.Bank, opt Op
 
 		// ---- scan the query against the tile index ----
 		t0 = time.Now()
-		var hsps []hsp.HSP
-		diagOff := qHi - qLo
-		seed.ForEach(queries.Data[qLo:qHi], opt.W, func(rel int32, c seed.Code) {
-			met.QueryPositions++
-			if maskPfx != nil && maskPfx[rel+w] != maskPfx[rel] {
-				return
-			}
-			qPos := qLo + rel
-			// The tile occurrences are one contiguous CSR slice with
-			// precomputed bounds, so the inner probe loop is flat
-			// sequential reads instead of a Head/NextPos chain walk.
-			tLo, tHi := ix.OccRange(c)
-			for k := tLo; k < tHi; k++ {
-				p := ix.Pos[k]
-				met.TileHits++
-				diag := p - rel + diagOff
-				if diagGen[diag] == gen && diagEnd[diag] > p {
-					met.SkippedByDiag++
-					continue
-				}
-				met.Extensions++
-				h, _ := ext.Extend(d1, d2, p, qPos, ix.OccLo[k], ix.OccHi[k], qLo, qHi, c, nil)
-				diagGen[diag] = gen
-				diagEnd[diag] = h.E1
-				if h.Score >= opt.MinUngappedScore {
-					hsps = append(hsps, h)
-				}
-			}
-		})
+		tp.maskPfx = maskPfx
+		tp.qLo, tp.qHi, tp.diagOff = qLo, qHi, qHi-qLo
+		tp.gen = gen
+		tp.hsps = tp.hsps[:0]
+		seed.ForEach(queries.Data[qLo:qHi], opt.W, tp.probe)
+		hsps := tp.hsps
 		met.ScanTime += time.Since(t0)
 
 		// ---- gapped stage (shared shape with the other engines) ----

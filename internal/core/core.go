@@ -331,6 +331,8 @@ func workerCount(opt Options) int {
 // is all the ordered-rule uniqueness proof needs. The A4 ablation
 // (ShuffledSeedOrder) keeps the full 4^W sweep so its fixed permutation
 // of the whole code space is preserved.
+//
+//scorislint:hotpath
 func step2(ctx context.Context, b1, b2 *bank.Bank, ix1, ix2 *index.Index, opt Options) ([]hsp.HSP, step2Result, error) {
 	// The unit of work: either an index into ix1.Codes (directory walk)
 	// or a raw code (shuffled full sweep).

@@ -165,9 +165,9 @@ type worker struct {
 	URL  string
 
 	mu      sync.Mutex
-	state   State
-	fails   int // consecutive probe/compare failures
-	lastErr string
+	state   State  // guardedby: mu
+	fails   int    // guardedby: mu ; consecutive probe/compare failures
+	lastErr string // guardedby: mu
 }
 
 func (w *worker) State() State {
@@ -236,9 +236,9 @@ type Router struct {
 	client *http.Client
 
 	mu      sync.RWMutex
-	workers map[string]*worker
-	order   []string // registration order, for stable listings
-	banks   map[string]*bankRecord
+	workers map[string]*worker     // guardedby: mu
+	order   []string               // guardedby: mu ; registration order, for stable listings
+	banks   map[string]*bankRecord // guardedby: mu
 
 	requests   atomic.Int64 // HTTP requests seen (all endpoints)
 	compares   atomic.Int64 // compares answered 2xx

@@ -104,6 +104,8 @@ type Stats struct {
 //
 // ok is false when the ordered rule aborted: the HSP is a duplicate of
 // one generated from a lower (or equal-and-leftmost) seed.
+//
+//scorislint:hotpath
 func (e *Extender) Extend(d1, d2 []byte, p1, p2, lo1, hi1, lo2, hi2 int32, anchor seed.Code, st *Stats) (HSP, bool) {
 	if st != nil {
 		st.Extensions++

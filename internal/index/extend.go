@@ -49,6 +49,8 @@ import (
 // identity story — that the first k sequences of b really are the bank
 // the parts were built from (per-sequence checksums) and that the
 // options keys match.
+//
+//scorislint:hotpath
 func ExtendFromParts(b *bank.Bank, opts Options, old Parts, oldDataLen int) (*Index, error) {
 	opts = opts.normalized()
 	if opts.W < 1 || opts.W > seed.MaxW {

@@ -403,6 +403,8 @@ func FromParts(b *bank.Bank, opts Options, p Parts) (*Index, error) {
 // boundary for ExtendFromParts — which is how a hostile "prefix" file
 // claiming occurrences beyond its recorded boundary is rejected instead
 // of being double-inserted by the extension scan.
+//
+//scorislint:validator
 func checkParts(b *bank.Bank, opts Options, p Parts, posLimit int32) error {
 	n := seed.NumCodes(opts.W)
 	if len(p.Starts) != n+1 {

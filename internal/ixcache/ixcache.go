@@ -217,8 +217,8 @@ type BlockCounters interface {
 type Cache struct {
 	mu    sync.Mutex
 	max   int
-	items map[Key]*list.Element
-	order *list.List // front = most recently used
+	items map[Key]*list.Element // guardedby: mu
+	order *list.List            // guardedby: mu ; front = most recently used
 	store Store
 
 	builds        atomic.Int64

@@ -341,6 +341,8 @@ type sections struct {
 // decodeHeader parses and checks the fixed-size header alone — magic,
 // version, declared sizes — without touching (or requiring) the rest
 // of the file. Shared by parseFrame and the cheap prefix probe.
+//
+//scorislint:validator
 func decodeHeader(buf []byte) (*header, error) {
 	if len(buf) < headerSize {
 		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte header",
@@ -389,6 +391,8 @@ func decodeHeader(buf []byte) (*header, error) {
 // sizes), and the whole-file checksum. It returns byte views into buf;
 // converting them to typed slices is the caller's choice of copy (Load)
 // or alias (LoadMapped).
+//
+//scorislint:validator
 func parseFrame(buf []byte) (*header, *sections, error) {
 	if len(buf) < headerSize+4 {
 		return nil, nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte minimum",
@@ -434,6 +438,8 @@ func sectionElemSize(i int) uint64 {
 
 // checkOptionsKey verifies the recorded options against the requesting
 // ones through the same projection the in-memory cache uses.
+//
+//scorislint:validator
 func (h *header) checkOptionsKey(opts index.Options) error {
 	if !ixcache.SameKey(h.indexOptions(), opts) {
 		o := opts.Normalized()
@@ -448,6 +454,8 @@ func (h *header) checkOptionsKey(opts index.Options) error {
 // checkExactBank verifies the recorded bank identity is exactly the
 // requesting bank: whole-content CRC, length, sequence count, and the
 // per-sequence checksum vector.
+//
+//scorislint:validator
 func (h *header) checkExactBank(s *sections, b *bank.Bank) error {
 	if h.dataLen != uint64(len(b.Data)) || h.numSeqs != uint32(b.NumSeqs()) ||
 		h.bankCRC != BankChecksum(b) {
@@ -471,6 +479,8 @@ func (h *header) checkExactBank(s *sections, b *bank.Bank) error {
 // prefix boundary, and every recorded per-sequence checksum matching
 // the request's prefix. On success it returns the recorded sequence
 // count k; the prefix boundary is then b.PrefixLen(k) == h.dataLen.
+//
+//scorislint:validator
 func (h *header) checkPrefixBank(s *sections, b *bank.Bank) (int, error) {
 	k := int(h.numSeqs)
 	if k < 1 || k >= b.NumSeqs() {

@@ -15,6 +15,8 @@ const mmapSupported = true
 // writes, and MAP_PRIVATE keeps later file replacement (Save's atomic
 // rename) from mutating live mappings — the old inode stays alive until
 // munmap.
+//
+//scorislint:source
 func mmapFile(f *os.File, size int) ([]byte, error) {
 	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
 }

@@ -112,6 +112,8 @@ func (h *optionsHeader) indexOptions() index.Options {
 
 // checkOptionsKey verifies the recorded options against the requesting
 // ones through the same projection the in-memory cache uses.
+//
+//scorislint:validator
 func (h *optionsHeader) checkOptionsKey(opts index.Options) error {
 	if !ixcache.SameKey(h.indexOptions(), opts) {
 		o := opts.Normalized()
@@ -150,6 +152,8 @@ func encodeHeaderV3(opts index.Options) []byte {
 // decodeHeaderV3 parses and checks the fixed v3 header. The header CRC
 // makes the options key self-validating — a flipped dust bit cannot
 // silently serve an index built under different options.
+//
+//scorislint:validator
 func decodeHeaderV3(buf []byte) (*optionsHeader, error) {
 	if len(buf) < headerSizeV3 {
 		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte v3 header",
@@ -259,6 +263,8 @@ func encodeFooterV3(bankCRC uint64, dataLen uint64, seqSums []uint64, dir []dirE
 // large enough for its own header. Hostile directories — overlapping
 // ranges, gaps, a truncated last block — are rejected here, before any
 // block byte is touched.
+//
+//scorislint:validator
 func parseFooterV3(tail []byte, fileSize int64) (*footerV3, error) {
 	if len(tail) < trailerSize {
 		return nil, fmt.Errorf("ixdisk: %w: %d bytes is below the %d-byte v3 trailer",
@@ -398,6 +404,8 @@ func encodeBlock(w io.Writer, bp *index.BlockParts) (length int, crc uint32, err
 // decodeBlock validates one block's bytes against its directory entry
 // and returns its parts, aliasing buf when alias is set (mmap path,
 // single-block files) and copying otherwise.
+//
+//scorislint:validator
 func decodeBlock(buf []byte, ent dirEntry, alias bool) (index.BlockParts, error) {
 	var bp index.BlockParts
 	if uint64(len(buf)) != ent.length {
@@ -538,6 +546,8 @@ func SaveBlocks(path string, p *ixcache.Prepared, blockSeqs int) error {
 
 // checkExactBankV3 verifies the footer identity is exactly bank b,
 // per-sequence checksums included.
+//
+//scorislint:validator
 func (f *footerV3) checkExactBank(b *bank.Bank) error {
 	if f.dataLen != uint64(len(b.Data)) || f.numSeqs != uint32(b.NumSeqs()) ||
 		f.bankCRC != BankChecksum(b) {
@@ -560,6 +570,8 @@ func (f *footerV3) checkExactBank(b *bank.Bank) error {
 // match bank b's first k — the shared identity test of the partial-load
 // (k == b.NumSeqs(), stored file larger) and append (k < b.NumSeqs(),
 // stored file smaller) paths.
+//
+//scorislint:validator
 func (f *footerV3) checkPrefixSums(b *bank.Bank, k int) error {
 	if k < 1 || k > int(f.numSeqs) || k > b.NumSeqs() {
 		return fmt.Errorf("ixdisk: %w: %d-sequence prefix of a %d-sequence file against bank %q (%d)",

@@ -44,7 +44,7 @@ func runAtomicMix(pass *Pass) {
 	// call. The argument expressions themselves are the allowed
 	// accesses.
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -82,7 +82,7 @@ func runAtomicMix(pass *Pass) {
 
 	// Pass 2: any other access to a collected location is mixing.
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			ast.Inspect(f, func(n ast.Node) bool {
 				// Struct-literal keys name the field object but are
 				// construction, not access; skip the key identifier.

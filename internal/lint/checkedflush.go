@@ -28,12 +28,15 @@ import (
 var AnalyzerCheckedFlush = &Analyzer{
 	Name: "checkedflush",
 	Doc:  "Flush/Close errors on output paths must be consumed (silent-truncation regression guard)",
-	Run:  runCheckedFlush,
+	// Test goroutines leak and test writers truncate the same way
+	// production ones do.
+	AnalyzeTests: true,
+	Run:          runCheckedFlush,
 }
 
 func runCheckedFlush(pass *Pass) {
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			for _, fn := range functionsIn(f) {
 				checkFlushIn(pass, pkg, fn)
 			}

@@ -25,7 +25,7 @@ var AnalyzerCtxLoop = &Analyzer{
 
 func runCtxLoop(pass *Pass) {
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			for _, fn := range functionsIn(f) {
 				if !hasCtxParam(pkg, fn.typ) {
 					continue

@@ -1,0 +1,342 @@
+package lint
+
+// Interprocedural dataflow infrastructure (PR 10): a whole-module call
+// graph, per-function def-use chains, and a fact store through which
+// analyzers publish and consume function summaries across packages.
+// The flow analyzers (untrustedix, detorder, guardedby, hotalloc) are
+// built on this layer; the PR 9 analyzers remain single-function.
+//
+// Functions are identified by FuncKey — the types.Func.FullName()
+// string — never by object identity: the loader type-checks each
+// package from source but resolves imports through gc export data, so
+// the *types.Func seen at a cross-package call site is a different
+// object from the one owning the body. The string key is stable across
+// that divide.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncKey names one function or method, e.g.
+// "repro/internal/ixdisk.parseFooterV3" or
+// "(*repro/internal/hsp.Extender).Extend".
+type FuncKey string
+
+// KeyOf returns the stable key for fn (generic instances collapse to
+// their origin).
+func KeyOf(fn *types.Func) FuncKey {
+	if fn == nil {
+		return ""
+	}
+	return FuncKey(fn.Origin().FullName())
+}
+
+// EdgeKind classifies how a call-graph edge is made.
+type EdgeKind int
+
+const (
+	// EdgeDirect is a static call: pkg.F(...) or concrete v.M(...).
+	EdgeDirect EdgeKind = iota
+	// EdgeMethodValue is a function or method referenced as a value
+	// (x.M passed as a callback, f := pkg.F) — invoked elsewhere, so
+	// the reference site is the edge.
+	EdgeMethodValue
+	// EdgeInterface is a call through an interface method, fanned out
+	// to every module type that implements the interface.
+	EdgeInterface
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeMethodValue:
+		return "method-value"
+	case EdgeInterface:
+		return "interface"
+	}
+	return "unknown"
+}
+
+// Edge is one call-graph edge, positioned at its call or reference
+// site.
+type Edge struct {
+	Caller FuncKey
+	Callee FuncKey
+	Kind   EdgeKind
+	Pos    token.Pos
+}
+
+// FuncInfo is one module function with a body.
+type FuncInfo struct {
+	Key  FuncKey
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Module is the whole-module dataflow index: every function body in
+// the loaded (non-test) tree, the call graph over them, and the fact
+// store. Built once per Run and shared by every analyzer.
+type Module struct {
+	Funcs map[FuncKey]*FuncInfo
+	Edges []Edge
+
+	calleesOf map[FuncKey][]Edge
+	callersOf map[FuncKey][]Edge
+
+	facts map[string]map[FuncKey]any
+}
+
+// Callees returns the edges leaving fn.
+func (m *Module) Callees(fn FuncKey) []Edge { return m.calleesOf[fn] }
+
+// Callers returns the edges arriving at fn.
+func (m *Module) Callers(fn FuncKey) []Edge { return m.callersOf[fn] }
+
+// PutFact publishes a summary for fn under an analyzer-chosen
+// namespace; ConsumeFact reads it back, from any analyzer. Facts are
+// keyed by FuncKey, so a summary published while analyzing one package
+// is visible at call sites in every other.
+func (m *Module) PutFact(ns string, fn FuncKey, v any) {
+	byFn := m.facts[ns]
+	if byFn == nil {
+		byFn = map[FuncKey]any{}
+		m.facts[ns] = byFn
+	}
+	byFn[fn] = v
+}
+
+// Fact returns the summary published for fn under ns, or nil.
+func (m *Module) Fact(ns string, fn FuncKey) any {
+	return m.facts[ns][fn]
+}
+
+// buildModule indexes every non-test function body and the call graph
+// over them. Test files never enter the graph: flow facts inferred
+// from test-only call sites must not bless or blame production code.
+func buildModule(pass *Pass) *Module {
+	m := &Module{
+		Funcs:     map[FuncKey]*FuncInfo{},
+		calleesOf: map[FuncKey][]Edge{},
+		callersOf: map[FuncKey][]Edge{},
+		facts:     map[string]map[FuncKey]any{},
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			if pass.testFiles[pass.Fset.Position(f.Pos()).Filename] {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				m.Funcs[KeyOf(fn)] = &FuncInfo{Key: KeyOf(fn), Obj: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	for _, fi := range m.Funcs {
+		collectEdges(m, fi)
+	}
+	sort.Slice(m.Edges, func(i, j int) bool {
+		a, b := m.Edges[i], m.Edges[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Callee != b.Callee {
+			return a.Callee < b.Callee
+		}
+		return a.Pos < b.Pos
+	})
+	for _, e := range m.Edges {
+		m.calleesOf[e.Caller] = append(m.calleesOf[e.Caller], e)
+		m.callersOf[e.Callee] = append(m.callersOf[e.Callee], e)
+	}
+	return m
+}
+
+// collectEdges walks one function body recording direct-call,
+// method-value, and interface-dispatch edges.
+func collectEdges(m *Module, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	caller := fi.Key
+
+	// callFuns marks expressions in call position, so a selector used
+	// as a callee is not double-counted as a method value.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	add := func(callee *types.Func, kind EdgeKind, pos token.Pos) {
+		if callee == nil {
+			return
+		}
+		key := KeyOf(callee)
+		if _, inModule := m.Funcs[key]; !inModule {
+			return // stdlib / bodiless: not a graph node
+		}
+		m.Edges = append(m.Edges, Edge{Caller: caller, Callee: key, Kind: kind, Pos: pos})
+	}
+
+	// selParts marks the Sel ident of every selector, so a qualified
+	// function reference (pkg.Fn, v.Method) is attributed once, to the
+	// selector, and never re-counted when Inspect reaches the ident.
+	selParts := map[*ast.Ident]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selParts[sel.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, x)
+			if fn == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface dispatch: edge to every module
+				// implementation of the method.
+				for _, impl := range m.implementationsOf(fn) {
+					add(impl, EdgeInterface, x.Pos())
+				}
+				return true
+			}
+			add(fn, EdgeDirect, x.Pos())
+		case *ast.SelectorExpr:
+			if callFuns[ast.Expr(x)] {
+				return true
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					for _, impl := range m.implementationsOf(fn) {
+						add(impl, EdgeMethodValue, x.Pos())
+					}
+					return true
+				}
+				add(fn, EdgeMethodValue, x.Pos())
+			}
+		case *ast.Ident:
+			if callFuns[ast.Expr(x)] || selParts[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+				add(fn, EdgeMethodValue, x.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// implementationsOf returns the module methods that implement the
+// interface method ifn: for every module function with the same name,
+// its receiver type (or a pointer to it) must satisfy ifn's interface.
+func (m *Module) implementationsOf(ifn *types.Func) []*types.Func {
+	iface, _ := ifn.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	var out []*types.Func
+	for _, fi := range m.Funcs {
+		fn := fi.Obj
+		if fn.Name() != ifn.Name() {
+			continue
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		rt := recv.Type()
+		if types.Implements(rt, iface) || types.Implements(types.NewPointer(deref(rt)), iface) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// DefUse is one function's def-use chains: for each local object, the
+// positions that define (assign) it and the identifiers that read it,
+// in source order.
+type DefUse struct {
+	Defs map[types.Object][]token.Pos
+	Uses map[types.Object][]*ast.Ident
+}
+
+// DefUseOf builds the def-use chains of one function body.
+func DefUseOf(pkg *Package, body *ast.BlockStmt) *DefUse {
+	du := &DefUse{
+		Defs: map[types.Object][]token.Pos{},
+		Uses: map[types.Object][]*ast.Ident{},
+	}
+	// Definition sites: := and = left-hand sides, var declarations,
+	// range loop variables.
+	markDef := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			du.Defs[obj] = append(du.Defs[obj], id.Pos())
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			du.Defs[obj] = append(du.Defs[obj], id.Pos())
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markDef(lhs)
+			}
+		case *ast.RangeStmt:
+			markDef(x.Key)
+			if x.Value != nil {
+				markDef(x.Value)
+			}
+		case *ast.ValueSpec:
+			for _, name := range x.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					du.Defs[obj] = append(du.Defs[obj], name.Pos())
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				du.Uses[obj] = append(du.Uses[obj], x)
+			}
+		}
+		return true
+	})
+	for _, uses := range du.Uses {
+		sort.Slice(uses, func(i, j int) bool { return uses[i].Pos() < uses[j].Pos() })
+	}
+	return du
+}
+
+// funcDirective reports whether the doc comment of decl carries the
+// given //scorislint:<name> directive.
+func funcDirective(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "scorislint:"+name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package lint
+
+// -explain support: each analyzer's contract and annotation syntax are
+// fields on the Analyzer, and its bad/good examples are extracted from
+// the same fixture pairs the tests assert against — embedded at build
+// time, so the explanation cannot drift from what the analyzer
+// actually flags and accepts.
+
+import (
+	"embed"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+//go:embed testdata/src
+var fixtureFS embed.FS
+
+// Explain renders the analyzer's contract, annotation syntax, and a
+// minimal bad/good example pair sourced from its fixtures.
+func Explain(a *Analyzer) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", a.Name, a.Doc)
+	if a.Contract != "" {
+		fmt.Fprintf(&b, "\nContract:\n%s\n", indent(a.Contract))
+	}
+	if a.Annotation != "" {
+		fmt.Fprintf(&b, "\nAnnotations:\n%s\n", indent(a.Annotation))
+	}
+	fmt.Fprintf(&b, "\nSuppression:\n")
+	fmt.Fprintf(&b, "  //scorislint:ignore %s <reason>        one site\n", a.Name)
+	fmt.Fprintf(&b, "  //scorislint:file-ignore %s <reason>   whole file\n", a.Name)
+
+	bad, err := fixtureExample(a.Name, "bad", wantedDecl)
+	if err != nil {
+		return "", err
+	}
+	if bad != "" {
+		fmt.Fprintf(&b, "\nFlagged (from testdata/src/%s/bad — the `// want` markers are the expected findings):\n%s\n", a.Name, indent(bad))
+	}
+	good, err := fixtureExample(a.Name, "clean", firstDecl)
+	if err != nil {
+		return "", err
+	}
+	if good != "" {
+		fmt.Fprintf(&b, "\nAccepted (from testdata/src/%s/clean):\n%s\n", a.Name, indent(good))
+	}
+	return b.String(), nil
+}
+
+// wantedDecl picks the first top-level declaration containing a
+// `// want` expectation.
+func wantedDecl(f *ast.File, fset *token.FileSet, src []byte) string {
+	wantPos := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "// want ") || strings.Contains(c.Text, "// want`") {
+				wantPos[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		if _, ok := decl.(*ast.GenDecl); ok {
+			if gd := decl.(*ast.GenDecl); gd.Tok == token.IMPORT {
+				continue
+			}
+		}
+		lo := fset.Position(decl.Pos()).Line
+		hi := fset.Position(decl.End()).Line
+		for line := range wantPos {
+			if line >= lo && line <= hi {
+				return declSource(decl, fset, src)
+			}
+		}
+	}
+	return ""
+}
+
+// firstDecl picks the first non-import top-level declaration.
+func firstDecl(f *ast.File, fset *token.FileSet, src []byte) string {
+	for _, decl := range f.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		return declSource(decl, fset, src)
+	}
+	return ""
+}
+
+func declSource(decl ast.Decl, fset *token.FileSet, src []byte) string {
+	pos := decl.Pos()
+	if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+		pos = fd.Doc.Pos()
+	} else if gd, ok := decl.(*ast.GenDecl); ok && gd.Doc != nil {
+		pos = gd.Doc.Pos()
+	}
+	lo := fset.Position(pos).Offset
+	hi := fset.Position(decl.End()).Offset
+	if lo < 0 || hi > len(src) || lo >= hi {
+		return ""
+	}
+	return string(src[lo:hi])
+}
+
+// fixtureExample parses the embedded fixture files of one analyzer
+// variant and extracts an example with pick.
+func fixtureExample(analyzer, variant string, pick func(*ast.File, *token.FileSet, []byte) string) (string, error) {
+	dir := path.Join("testdata/src", analyzer, variant)
+	ents, err := fixtureFS.ReadDir(dir)
+	if err != nil {
+		return "", nil // analyzer without fixtures: no example
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		src, err := fixtureFS.ReadFile(path.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return "", fmt.Errorf("parsing embedded fixture %s: %v", name, err)
+		}
+		if ex := pick(f, fset, src); ex != "" {
+			return ex, nil
+		}
+	}
+	return "", nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "  " + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}

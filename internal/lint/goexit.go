@@ -29,14 +29,17 @@ import (
 var AnalyzerGoExit = &Analyzer{
 	Name: "goexit",
 	Doc:  "every go statement needs a visible lifecycle (WaitGroup/channel/ctx) or a '// background:' justification",
-	Run:  runGoExit,
+	// Test goroutines leak and test writers truncate the same way
+	// production ones do.
+	AnalyzeTests: true,
+	Run:          runGoExit,
 }
 
 const backgroundPrefix = "background:"
 
 func runGoExit(pass *Pass) {
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			justified := directiveLines(pass, f, backgroundPrefix, true)
 			ast.Inspect(f, func(n ast.Node) bool {
 				st, ok := n.(*ast.GoStmt)

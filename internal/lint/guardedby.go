@@ -1,0 +1,609 @@
+package lint
+
+// guardedby checks declared lock discipline: a struct field annotated
+//
+//	items map[string]*entry // guardedby: mu
+//
+// may only be read or written while the named mutex of the same
+// struct value is held. Held regions are tracked lexically —
+// x.mu.Lock() opens one, x.mu.Unlock() closes it, defer x.mu.Unlock()
+// holds to function end, RLock counts as held — and the check is
+// interprocedural: a helper that accesses a guarded field of its
+// receiver without locking publishes a "requires lock" summary, and
+// every call site must then be inside a held region (or pass a freshly
+// constructed, not-yet-shared value). Constructors are exempt the same
+// way: accesses to a struct the function itself created never require
+// the lock.
+//
+// Gaps, deliberately: function literals are not analyzed (goroutine
+// bodies normally use the locked accessors), and a requiring function
+// with no call sites at all stays silent rather than guessing about
+// its callers.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerGuardedBy is the lock-discipline analyzer.
+var AnalyzerGuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guardedby: mu` are only touched while that mutex is held (DESIGN.md §8)",
+	Contract: `DESIGN.md §8: shared mutable state (the server bank registry and
+session pool, fleet worker health, the ixcache LRU) is guarded by a
+named mutex. Fields carry '// guardedby: <mutex>' annotations; every
+access must be inside a region where <mutex> of the same struct value
+is held (Lock/RLock through Unlock/RUnlock, or defer Unlock). Helpers
+that rely on their caller's lock are checked at every call site via
+the call graph. Freshly constructed values are exempt until shared.`,
+	Annotation: "// guardedby: <mutexField>   trailing or preceding comment on a struct field",
+	Run:        runGuardedBy,
+}
+
+// guardKey identifies one annotated field.
+type guardKey struct {
+	pkg   string
+	typ   string
+	field string
+}
+
+// lockReq is one published requirement: parameter slot must have
+// <rel> held at every call site (rel is the path from the argument to
+// the mutex, e.g. ".mu" or ".pool.mu").
+type lockReq struct {
+	slot int
+	rel  string
+	desc string // guarded field, for messages
+}
+
+// argInfo is one call-site argument in parameter-slot order.
+type argInfo struct {
+	repr   string // canonical expression text, "" if not trackable
+	slot   int    // caller parameter slot of its root, -1 otherwise
+	exempt bool   // root object was constructed in the caller
+}
+
+// callRecord is one direct module call with its caller-side context.
+type callRecord struct {
+	callee FuncKey
+	pos    token.Pos
+	args   []argInfo
+	held   map[string]bool
+}
+
+type guardState struct {
+	pass    *Pass
+	mod     *Module
+	guards  map[guardKey]string // field -> mutex name
+	reqs    map[FuncKey][]lockReq
+	calls   map[FuncKey][]callRecord
+	direct  []Diagnostic
+	violMsg map[string]bool
+}
+
+func runGuardedBy(pass *Pass) {
+	mod := pass.Module()
+	st := &guardState{
+		pass:    pass,
+		mod:     mod,
+		guards:  map[guardKey]string{},
+		reqs:    map[FuncKey][]lockReq{},
+		calls:   map[FuncKey][]callRecord{},
+		violMsg: map[string]bool{},
+	}
+	st.collectGuards()
+	if len(st.guards) == 0 {
+		return
+	}
+	for key, fi := range mod.Funcs {
+		st.analyzeFunc(key, fi)
+	}
+	for key, reqs := range st.reqs {
+		st.mod.PutFact("guardedby", key, reqs)
+	}
+
+	// Propagate requirements up the call graph to fixpoint, then
+	// report the call sites that satisfy none of the outs.
+	for round := 0; round < 6; round++ {
+		if !st.propagate(nil) {
+			break
+		}
+	}
+	var viols []Diagnostic
+	st.propagate(&viols)
+	for _, d := range st.direct {
+		viols = append(viols, d)
+	}
+	seen := map[string]bool{}
+	for _, d := range viols {
+		k := fmt.Sprint(d.Pos, d.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		*st.pass.diags = append(*st.pass.diags, d)
+	}
+}
+
+// collectGuards parses `// guardedby: <mutex>` field annotations and
+// validates that the named mutex exists on the same struct.
+func (st *guardState) collectGuards() {
+	for _, pkg := range st.pass.Pkgs {
+		for _, f := range st.pass.Files(pkg) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				styp, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				fieldTypes := map[string]ast.Expr{}
+				for _, field := range styp.Fields.List {
+					for _, name := range field.Names {
+						fieldTypes[name.Name] = field.Type
+					}
+				}
+				for _, field := range styp.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					muType, ok := fieldTypes[mu]
+					if !ok || !isMutexType(typeOf(pkg.Info, muType)) {
+						st.pass.Reportf(field.Pos(),
+							"guardedby: %q is not a sync.Mutex/RWMutex field of %s", mu, ts.Name.Name)
+						continue
+					}
+					for _, name := range field.Names {
+						st.guards[guardKey{pkg.Path, ts.Name.Name, name.Name}] = mu
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's trailing or
+// preceding comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "guardedby:"); ok {
+				rest = strings.TrimSpace(rest)
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					rest = rest[:i]
+				}
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	return t != nil && (isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex"))
+}
+
+// exprRepr renders a lockable expression canonically: "s", "s.pool",
+// "rt". Non-path expressions (map index, call result) return "".
+func exprRepr(x ast.Expr) string {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprRepr(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return exprRepr(v.X)
+	}
+	return ""
+}
+
+// guardWalker tracks held mutexes through one function body.
+type guardWalker struct {
+	st     *guardState
+	fi     *FuncInfo
+	info   *types.Info
+	key    FuncKey
+	held   map[string]bool
+	exempt map[types.Object]bool
+	params map[types.Object]int
+	slots  map[string]int // param name -> slot, for repr roots
+}
+
+func (st *guardState) analyzeFunc(key FuncKey, fi *FuncInfo) {
+	w := &guardWalker{
+		st: st, fi: fi, info: fi.Pkg.Info, key: key,
+		held:   map[string]bool{},
+		exempt: map[types.Object]bool{},
+		params: map[types.Object]int{},
+		slots:  map[string]int{},
+	}
+	i := 0
+	if recv := fi.Decl.Recv; recv != nil {
+		for _, field := range recv.List {
+			for _, name := range field.Names {
+				if obj := w.info.Defs[name]; obj != nil {
+					w.params[obj] = i
+					w.slots[name.Name] = i
+				}
+			}
+		}
+		i++
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := w.info.Defs[name]; obj != nil {
+				w.params[obj] = i
+				w.slots[name.Name] = i
+			}
+			i++
+		}
+	}
+	for _, s := range fi.Decl.Body.List {
+		w.stmt(s)
+	}
+}
+
+// lockCall classifies a sync mutex method call, returning the lock
+// repr ("s.mu") and whether it acquires.
+func (w *guardWalker) lockCall(call *ast.CallExpr) (repr string, acquire, release bool) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return exprRepr(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprRepr(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// access checks one selector expression against the annotations.
+func (w *guardWalker) access(sel *ast.SelectorExpr) {
+	s := w.info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	named, ok := deref(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	key := guardKey{named.Obj().Pkg().Path(), named.Obj().Name(), sel.Sel.Name}
+	mu, guarded := w.st.guards[key]
+	if !guarded {
+		return
+	}
+	base := exprRepr(sel.X)
+	if base != "" && w.held[base+"."+mu] {
+		return
+	}
+	root := rootObj(w.info, sel.X)
+	if root != nil && w.exempt[root] {
+		return
+	}
+	desc := named.Obj().Name() + "." + sel.Sel.Name
+	if root != nil {
+		if slot, isParam := w.params[root]; isParam && base != "" {
+			rootName := base
+			if i := strings.IndexByte(base, '.'); i >= 0 {
+				rootName = base[:i]
+			}
+			rel := strings.TrimPrefix(base, rootName) + "." + mu
+			w.addReq(lockReq{slot: slot, rel: rel, desc: desc})
+			return
+		}
+	}
+	holder := mu
+	if base != "" {
+		holder = base + "." + mu
+	}
+	w.st.direct = append(w.st.direct, Diagnostic{
+		Analyzer: w.st.pass.Analyzer.Name,
+		Pos:      w.st.pass.Fset.Position(sel.Pos()),
+		Message: fmt.Sprintf("%s is guarded by %s but accessed without holding %s (DESIGN.md §8)",
+			desc, mu, holder),
+	})
+}
+
+func (w *guardWalker) addReq(r lockReq) {
+	for _, have := range w.st.reqs[w.key] {
+		if have == r {
+			return
+		}
+	}
+	w.st.reqs[w.key] = append(w.st.reqs[w.key], r)
+}
+
+// recordCall snapshots caller context at a direct module call.
+func (w *guardWalker) recordCall(call *ast.CallExpr) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil {
+		return
+	}
+	key := KeyOf(fn)
+	if _, inModule := w.st.mod.Funcs[key]; !inModule {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	var argExprs []ast.Expr
+	if sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			argExprs = append(argExprs, sel.X)
+		} else {
+			argExprs = append(argExprs, nil)
+		}
+	}
+	argExprs = append(argExprs, call.Args...)
+	args := make([]argInfo, len(argExprs))
+	for i, a := range argExprs {
+		if a == nil {
+			args[i] = argInfo{slot: -1}
+			continue
+		}
+		repr := exprRepr(a)
+		slot := -1
+		exempt := false
+		if root := rootObj(w.info, a); root != nil {
+			if s, ok := w.params[root]; ok {
+				slot = s
+			}
+			exempt = w.exempt[root]
+		}
+		args[i] = argInfo{repr: repr, slot: slot, exempt: exempt}
+	}
+	held := make(map[string]bool, len(w.held))
+	for k, v := range w.held {
+		held[k] = v
+	}
+	w.st.calls[w.key] = append(w.st.calls[w.key], callRecord{
+		callee: key, pos: call.Pos(), args: args, held: held,
+	})
+}
+
+// scan processes every expression node of one statement, shallowly:
+// lock transitions, guarded accesses, call records.
+func (w *guardWalker) scan(n ast.Node, inDefer bool) {
+	if n == nil {
+		return
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			if repr, acquire, release := w.lockCall(v); repr != "" {
+				switch {
+				case acquire:
+					w.held[repr] = true
+				case release && !inDefer:
+					delete(w.held, repr)
+				}
+				return true
+			}
+			w.recordCall(v)
+		case *ast.SelectorExpr:
+			w.access(v)
+		}
+		return true
+	})
+}
+
+func (w *guardWalker) stmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case *ast.AssignStmt:
+		// Constructor exemption: freshly built values are unshared.
+		for i, lhs := range v.Lhs {
+			if i >= len(v.Rhs) {
+				break
+			}
+			if isConstruction(v.Rhs[i]) {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := w.info.Defs[id]; obj != nil {
+						w.exempt[obj] = true
+					}
+				}
+			}
+		}
+		w.scan(v, false)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						construct := len(vs.Values) == 0 // var x T: zero value, unshared
+						if i < len(vs.Values) && isConstruction(vs.Values[i]) {
+							construct = true
+						}
+						if construct {
+							if obj := w.info.Defs[name]; obj != nil {
+								w.exempt[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		w.scan(v, false)
+	case *ast.DeferStmt:
+		w.scan(v.Call, true)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.scan(v.Cond, false)
+		for _, s := range v.Body.List {
+			w.stmt(s)
+		}
+		if v.Else != nil {
+			w.stmt(v.Else)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.scan(v.Cond, false)
+		for _, s := range v.Body.List {
+			w.stmt(s)
+		}
+		if v.Post != nil {
+			w.stmt(v.Post)
+		}
+	case *ast.RangeStmt:
+		w.scan(v.X, false)
+		for _, s := range v.Body.List {
+			w.stmt(s)
+		}
+	case *ast.BlockStmt:
+		for _, s := range v.List {
+			w.stmt(s)
+		}
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.scan(v.Tag, false)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init)
+		}
+		w.stmt(v.Assign)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(v.Stmt)
+	default:
+		w.scan(s, false)
+	}
+}
+
+// isConstruction reports whether x builds a fresh value: T{...},
+// &T{...}, or new(T).
+func isConstruction(x ast.Expr) bool {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op.String() == "&" {
+			_, ok := ast.Unparen(v.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// propagate walks every call site against its callee's requirements.
+// With viols == nil it only grows caller requirements (returning
+// whether anything changed); with viols set it collects the
+// unsatisfiable call sites.
+func (st *guardState) propagate(viols *[]Diagnostic) bool {
+	changed := false
+	var callers []FuncKey
+	for key := range st.calls {
+		callers = append(callers, key)
+	}
+	sort.Slice(callers, func(i, j int) bool { return callers[i] < callers[j] })
+	for _, caller := range callers {
+		for _, rec := range st.calls[caller] {
+			for _, req := range st.reqs[rec.callee] {
+				if req.slot >= len(rec.args) {
+					continue
+				}
+				a := rec.args[req.slot]
+				if a.exempt {
+					continue
+				}
+				if a.repr != "" && rec.held[a.repr+req.rel] {
+					continue
+				}
+				if a.slot >= 0 && a.repr != "" {
+					// Argument roots in a caller parameter: push the
+					// requirement up.
+					rootName := a.repr
+					if i := strings.IndexByte(a.repr, '.'); i >= 0 {
+						rootName = a.repr[:i]
+					}
+					up := lockReq{
+						slot: a.slot,
+						rel:  strings.TrimPrefix(a.repr, rootName) + req.rel,
+						desc: req.desc,
+					}
+					have := false
+					for _, r := range st.reqs[caller] {
+						if r == up {
+							have = true
+							break
+						}
+					}
+					if !have {
+						st.reqs[caller] = append(st.reqs[caller], up)
+						changed = true
+					}
+					continue
+				}
+				if viols != nil {
+					calleeName := string(rec.callee)
+					if i := strings.LastIndexByte(calleeName, '.'); i >= 0 {
+						calleeName = calleeName[i+1:]
+					}
+					*viols = append(*viols, Diagnostic{
+						Analyzer: st.pass.Analyzer.Name,
+						Pos:      st.pass.Fset.Position(rec.pos),
+						Message: fmt.Sprintf("call to %s touches %s, which is guarded by %s%s, without holding it (DESIGN.md §8)",
+							calleeName, req.desc, a.repr, req.rel),
+					})
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -31,7 +31,7 @@ var AnalyzerIndexImmut = &Analyzer{
 
 func runIndexImmut(pass *Pass) {
 	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch st := n.(type) {
 				case *ast.AssignStmt:

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
@@ -67,5 +68,55 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	for _, d := range lint.Run(l.Fset(), pkgs, lint.Analyzers()) {
 		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+func TestUntrustedIx(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerUntrustedIx, "testdata/src/untrustedix/clean")
+	linttest.Run(t, lint.AnalyzerUntrustedIx, "testdata/src/untrustedix/bad")
+}
+
+func TestDetOrder(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerDetOrder, "testdata/src/detorder/clean")
+	linttest.Run(t, lint.AnalyzerDetOrder, "testdata/src/detorder/bad")
+}
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerGuardedBy, "testdata/src/guardedby/clean")
+	linttest.Run(t, lint.AnalyzerGuardedBy, "testdata/src/guardedby/bad")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerHotAlloc, "testdata/src/hotalloc/clean")
+	linttest.Run(t, lint.AnalyzerHotAlloc, "testdata/src/hotalloc/bad")
+}
+
+// TestFileIgnoreDirectives exercises file-scoped suppression: a
+// justified //scorislint:file-ignore silences its analyzer for the
+// whole file, a reason-less one suppresses nothing and is reported.
+func TestFileIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, lint.AnalyzerCtxLoop, "testdata/src/fileignore")
+}
+
+// TestExplain asserts every analyzer renders an explanation, and that
+// the ones with fixtures include a flagged example sourced from them.
+func TestExplain(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		text, err := lint.Explain(a)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", a.Name, err)
+		}
+		if text == "" {
+			t.Fatalf("Explain(%s): empty", a.Name)
+		}
+	}
+	text, err := lint.Explain(lint.AnalyzerUntrustedIx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantSub := range []string{"Contract:", "//scorislint:validator", "Flagged", "Accepted"} {
+		if !strings.Contains(text, wantSub) {
+			t.Errorf("Explain(untrustedix) missing %q:\n%s", wantSub, text)
+		}
 	}
 }

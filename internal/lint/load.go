@@ -28,13 +28,18 @@ import (
 
 // listPkg is the subset of `go list -json` output the loader reads.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	DepOnly    bool
-	Module     *struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Standard     bool
+	DepOnly      bool
+	Module       *struct {
 		Path string
 		Main bool
 	}
@@ -43,7 +48,8 @@ type listPkg struct {
 	}
 }
 
-const listFields = "ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error"
+const listFields = "ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles," +
+	"Imports,TestImports,XTestImports,Standard,DepOnly,Module,Error"
 
 // goList runs `go list -e -export -deps` in dir over patterns and
 // decodes the package stream.
@@ -122,32 +128,113 @@ func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
 type Loader struct {
 	Dir string
 
+	// Tests includes _test.go files: each package is type-checked with
+	// its in-package test files added, and external _test packages are
+	// checked on top. In this mode the whole main-module dependency
+	// closure is checked from source in dependency order with imports
+	// resolved in memory — mixing an augmented in-memory package with
+	// the export-data view of another module package would split type
+	// identities (two incompatible bank.Bank), so the module forms one
+	// consistent source-checked universe. Set before Load.
+	Tests bool
+
 	fset     *token.FileSet
 	resolver *exportResolver
 	imp      types.Importer
+
+	checkedMu sync.Mutex
+	checked   map[string]*types.Package
+	augmented map[string]*types.Package
 }
 
 // NewLoader returns a loader for the module rooted at dir ("." for
 // the current directory; the go command resolves the enclosing
 // module).
 func NewLoader(dir string) *Loader {
-	l := &Loader{Dir: dir, fset: token.NewFileSet()}
+	l := &Loader{
+		Dir:       dir,
+		fset:      token.NewFileSet(),
+		checked:   map[string]*types.Package{},
+		augmented: map[string]*types.Package{},
+	}
 	l.resolver = newExportResolver(dir)
 	l.imp = importer.ForCompiler(l.fset, "gc", l.resolver.lookup)
 	return l
+}
+
+// register records a source-checked module package so later checks
+// resolve its import path in memory instead of from export data.
+func (l *Loader) register(path string, pkg *types.Package) {
+	l.checkedMu.Lock()
+	l.checked[path] = pkg
+	l.checkedMu.Unlock()
+}
+
+// augment records the test-augmented check of a package. It stays out
+// of the general registry — only the package's own external _test
+// package imports it (via moduleImporter.under); every other dependent
+// compiles against the production package, as go build links them.
+func (l *Loader) augment(path string, pkg *types.Package) {
+	l.checkedMu.Lock()
+	l.augmented[path] = pkg
+	l.checkedMu.Unlock()
+}
+
+// moduleImporter resolves source-checked module packages in memory and
+// everything else (stdlib) through gc export data. overrides (set when
+// checking an external _test package) shadows the registry with the
+// test-variant closure: the augmented package under test, plus every
+// intermediate package re-checked against it.
+type moduleImporter struct {
+	l         *Loader
+	overrides map[string]*types.Package
+}
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg := m.overrides[path]; pkg != nil {
+		return pkg, nil
+	}
+	m.l.checkedMu.Lock()
+	pkg := m.l.checked[path]
+	m.l.checkedMu.Unlock()
+	if pkg != nil {
+		return pkg, nil
+	}
+	return m.l.imp.Import(path)
 }
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
 // Load lists patterns, then parses and type-checks every matched
-// package of the main module (dependencies are consumed as export
-// data, not re-checked; test files are not analyzed). The tree must
-// compile: any list or type error aborts the load.
+// package of the main module. Without Tests, dependencies are consumed
+// as export data, not re-checked, and test files are not analyzed;
+// with Tests, see loadTests. The tree must compile: any list or type
+// error aborts the load.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	listed, err := goList(l.Dir, patterns...)
 	if err != nil {
 		return nil, err
+	}
+	if l.Tests {
+		// Test files import module packages outside the production
+		// dependency closure (simulate, testutil-style helpers), and
+		// in-memory resolution needs every module package checked from
+		// source. Widen to the whole module; analyzers see the full
+		// tree either way.
+		wide, err := goList(l.Dir, "./...")
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, p := range listed {
+			seen[p.ImportPath] = true
+		}
+		for _, p := range wide {
+			if !seen[p.ImportPath] {
+				listed = append(listed, p)
+			}
+		}
 	}
 	l.resolver.add(listed)
 	var targets []listPkg
@@ -155,10 +242,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
-		if p.Standard || p.DepOnly || p.Module == nil || !p.Module.Main {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if p.DepOnly && !l.Tests {
 			continue
 		}
 		targets = append(targets, p)
+	}
+	if l.Tests {
+		return l.loadTests(targets)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
@@ -185,6 +278,225 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// loadTests checks the module in two layers, the way the go tool
+// builds tests. The production layer first: every main-module package,
+// GoFiles only, in dependency order over production imports (acyclic
+// by construction), each registering with the in-memory importer
+// before its dependents check — one consistent source-checked
+// universe, so no package ever mixes an in-memory module type with
+// the export-data view of the same package. Then the test layer on
+// top: packages with in-package test files are re-checked as
+// GoFiles+TestGoFiles (test imports resolve against the registered
+// production layer — production+test edges may be cyclic at the
+// package level, e.g. index_test → simulate → ixcache → index, which
+// is why test files cannot join the first pass), and external _test
+// packages check last, importing the augmented package under test.
+func (l *Loader) loadTests(targets []listPkg) ([]*Package, error) {
+	byPath := map[string]listPkg{}
+	for _, t := range targets {
+		byPath[t.ImportPath] = t
+	}
+	var order []string
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		t, ok := byPath[path]
+		if !ok {
+			return // non-module import: export data
+		}
+		for _, dep := range t.Imports {
+			visit(dep)
+		}
+		order = append(order, path)
+	}
+	var roots []string
+	for path := range byPath {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, r := range roots {
+		visit(r)
+	}
+
+	// Production layer.
+	prod := map[string]*Package{}
+	for _, path := range order {
+		t := byPath[path]
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, g := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		files, err := parseFiles(l.fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.Check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		l.register(t.ImportPath, pkg.Pkg)
+		prod[path] = pkg
+	}
+
+	// Test layer: re-check packages with in-package test files as one
+	// augmented package. The augmented *types.Package stays out of the
+	// registry — dependents compile against the production package,
+	// exactly as go build links them.
+	var pkgs []*Package
+	for _, path := range order {
+		t := byPath[path]
+		if len(t.TestGoFiles) == 0 {
+			if p := prod[path]; p != nil {
+				pkgs = append(pkgs, p)
+			}
+			continue
+		}
+		var paths []string
+		for _, g := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		testFrom := len(paths)
+		for _, g := range t.TestGoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		files, err := parseFiles(l.fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.Check(t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.TestFiles = map[*ast.File]bool{}
+		for _, f := range files[testFrom:] {
+			pkg.TestFiles[f] = true
+		}
+		l.augment(t.ImportPath, pkg.Pkg)
+		pkgs = append(pkgs, pkg)
+	}
+
+	// External _test packages (package foo_test): separate packages
+	// importing the augmented foo (exported test helpers included).
+	// Any module package the xtest pulls in that itself imports foo
+	// must be re-checked against the augmented foo first — the go
+	// tool's [foo.test] variants — or the xtest would see two
+	// incompatible spellings of foo's types (one through its direct
+	// import, one through the intermediate's signatures).
+	for _, path := range order {
+		t := byPath[path]
+		if len(t.XTestGoFiles) == 0 {
+			continue
+		}
+		overrides, err := l.testVariantClosure(path, byPath, order)
+		if err != nil {
+			return nil, err
+		}
+		var paths []string
+		for _, g := range t.XTestGoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		files, err := parseFiles(l.fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(t.ImportPath+"_test", files, overrides)
+		if err != nil {
+			return nil, err
+		}
+		pkg.TestFiles = map[*ast.File]bool{}
+		for _, f := range files {
+			pkg.TestFiles[f] = true
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// testVariantClosure prepares the import overrides for checking the
+// external _test package of under: the augmented package under test,
+// plus a re-check (production sources, in dependency order) of every
+// module package on an import path between the xtest and under.
+func (l *Loader) testVariantClosure(under string, byPath map[string]listPkg, order []string) (map[string]*types.Package, error) {
+	l.checkedMu.Lock()
+	aug := l.augmented[under]
+	l.checkedMu.Unlock()
+	if aug == nil {
+		return nil, nil // no in-package test files: production foo is the only foo
+	}
+	overrides := map[string]*types.Package{under: aug}
+
+	// Module packages reachable from the xtest's imports...
+	reach := map[string]bool{}
+	var walk func(p string)
+	walk = func(p string) {
+		t, ok := byPath[p]
+		if !ok || reach[p] {
+			return
+		}
+		reach[p] = true
+		for _, dep := range t.Imports {
+			walk(dep)
+		}
+	}
+	for _, dep := range byPath[under].XTestImports {
+		walk(dep)
+	}
+	// ...that transitively import the package under test. Production
+	// imports are acyclic, so plain memoization is sound.
+	memo := map[string]bool{}
+	var importsUnder func(p string) bool
+	importsUnder = func(p string) bool {
+		if p == under {
+			return true
+		}
+		if v, ok := memo[p]; ok {
+			return v
+		}
+		memo[p] = false
+		t, ok := byPath[p]
+		if !ok {
+			return false
+		}
+		for _, dep := range t.Imports {
+			if importsUnder(dep) {
+				memo[p] = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, q := range order {
+		if q == under || !reach[q] || !importsUnder(q) {
+			continue
+		}
+		t := byPath[q]
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, g := range t.GoFiles {
+			paths = append(paths, filepath.Join(t.Dir, g))
+		}
+		files, err := parseFiles(l.fset, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(q, files, overrides)
+		if err != nil {
+			return nil, err
+		}
+		overrides[q] = pkg.Pkg
+	}
+	return overrides, nil
+}
+
 // parseFiles parses source files with comments retained (the ignore
 // and background directives live there).
 func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
@@ -204,6 +516,10 @@ func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
 // the fixture runner (which checks testdata packages that go list
 // never sees).
 func (l *Loader) Check(path string, files []*ast.File) (*Package, error) {
+	return l.check(path, files, nil)
+}
+
+func (l *Loader) check(path string, files []*ast.File, overrides map[string]*types.Package) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -211,7 +527,7 @@ func (l *Loader) Check(path string, files []*ast.File) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Implicits:  map[ast.Node]types.Object{},
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: moduleImporter{l: l, overrides: overrides}}
 	pkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)

@@ -1,0 +1,23 @@
+// Package pkga is the callee side of the call-graph fixture: an
+// interface with two implementations, exercised by direct calls,
+// method values, and interface dispatch from pkgb.
+package pkga
+
+type Doer interface {
+	Do() int
+}
+
+type Impl struct{}
+
+func (Impl) Do() int { return 1 }
+
+type Other struct{}
+
+func (Other) Do() int { return 2 }
+
+// Call dispatches through the interface: the graph fans out to every
+// module implementation of Doer.
+func Call(d Doer) int { return d.Do() }
+
+// Direct calls a concrete method.
+func Direct() int { return Impl{}.Do() }

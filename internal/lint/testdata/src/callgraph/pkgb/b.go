@@ -1,0 +1,15 @@
+// Package pkgb is the caller side: cross-package direct calls and a
+// method value whose invocation site is invisible.
+package pkgb
+
+import "repro/lintfixture/callgraph/pkga"
+
+// Use calls across the package boundary.
+func Use() int { return pkga.Call(pkga.Impl{}) }
+
+// MethodValue references pkga.Impl.Do without calling it: the edge is
+// a method-value edge, charged to the referencing function.
+func MethodValue() func() int {
+	i := pkga.Impl{}
+	return i.Do
+}

@@ -1,0 +1,35 @@
+// Package fixture seeds the map-order leaks the detorder analyzer must
+// catch: values that flow out of a map range into emitted bytes with
+// no sort in between — including when the building and the emitting
+// happen in different functions.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// collect builds a listing in map-iteration order: whoever emits it
+// inherits the nondeterminism.
+func collect(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	return names
+}
+
+// emit is the interprocedural pair: the map range is in collect, the
+// emission here.
+func emit(w io.Writer, m map[string]int) error {
+	names := collect(m)
+	return json.NewEncoder(w).Encode(names) // want `map iteration at .* reach a JSON response`
+}
+
+// direct ranges and prints in one body.
+func direct(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration at .* reach a formatted output stream`
+	}
+}

@@ -1,0 +1,49 @@
+// Package fixture is the idiomatic counterpart: map-derived listings
+// are sorted before emission, and commutative folds (counters, sums)
+// pass through untouched — aggregate values carry no iteration order.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// collect sorts before returning: the listing is deterministic no
+// matter who emits it.
+func collect(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func emit(w io.Writer, m map[string]int) error {
+	return json.NewEncoder(w).Encode(collect(m))
+}
+
+// listing sorts with sort.Slice — the entry point without "sort" in
+// its name — before encoding a struct listing.
+func listing(w io.Writer, m map[string]int) error {
+	type entry struct {
+		Name  string
+		Count int
+	}
+	entries := make([]entry, 0, len(m))
+	for name, count := range m {
+		entries = append(entries, entry{name, count})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return json.NewEncoder(w).Encode(entries)
+}
+
+// total is a commutative fold: the sum is the same in any order.
+func total(w io.Writer, m map[string]int) error {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return json.NewEncoder(w).Encode(n)
+}

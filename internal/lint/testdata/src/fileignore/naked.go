@@ -1,0 +1,12 @@
+// A reason-less file-ignore suppresses nothing and is itself reported;
+// the loop it failed to cover still surfaces.
+//
+//scorislint:file-ignore ctxloop // want `needs an analyzer name and a justification`
+package fixture
+
+import "context"
+
+func uncovered(ctx context.Context, work func() bool) {
+	for work() { // want `never consults a context`
+	}
+}

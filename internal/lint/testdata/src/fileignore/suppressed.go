@@ -1,0 +1,21 @@
+// Package fixture exercises file-scoped suppression: a justified
+// //scorislint:file-ignore silences its analyzer for this whole file —
+// both loops below would otherwise be findings.
+//
+//scorislint:file-ignore ctxloop polling loops in this file are bounded by the caller's retry budget
+package fixture
+
+import "context"
+
+func first(ctx context.Context, work func() bool) {
+	for work() {
+	}
+}
+
+func second(ctx context.Context, work func() bool) {
+	for {
+		if !work() {
+			return
+		}
+	}
+}

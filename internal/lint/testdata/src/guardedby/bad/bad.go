@@ -1,0 +1,38 @@
+// Package fixture seeds the unlocked accesses the guardedby analyzer
+// must catch: fields annotated `// guardedby: mu` touched without the
+// mutex — directly, and through a call whose callee requires the lock.
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // guardedby: mu
+}
+
+var global registry
+
+// raw reads the guarded map of a package-level registry with no lock
+// anywhere on the path.
+func raw(name string) int {
+	return global.items[name] // want `guarded by`
+}
+
+// get requires the caller to hold r.mu — it touches r.items unlocked,
+// so the requirement propagates to every call site.
+func get(r *registry, name string) int {
+	return r.items[name]
+}
+
+// lookup calls get without holding the lock: the violation surfaces
+// here, at the call site.
+func lookup() int {
+	return get(&global, "x") // want `guarded by`
+}
+
+// badMutex names a field that is not a mutex: the annotation itself is
+// the finding.
+type badMutex struct {
+	n     int
+	items []int // guardedby: n // want `not a sync.Mutex`
+}

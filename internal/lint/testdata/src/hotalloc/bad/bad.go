@@ -1,0 +1,52 @@
+// Package fixture seeds the per-element allocations the hotalloc
+// analyzer must catch inside //scorislint:hotpath functions: makes,
+// fmt calls, interface boxing, and calls into allocating helpers — all
+// in loop bodies, where they run once per element.
+package fixture
+
+import "fmt"
+
+// scan allocates and formats on the per-element path.
+//
+//scorislint:hotpath
+func scan(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+		s := fmt.Sprintf("%d", x) // want `fmt\.Sprintf in the loop body`
+		_ = s
+	}
+	return n
+}
+
+// grow makes a fresh slice per element.
+//
+//scorislint:hotpath
+func grow(xs []int) [][]int {
+	var out [][]int
+	for range xs {
+		out = append(out, make([]int, 4)) // want `make\(\) in the loop body|make in the loop body`
+	}
+	return out
+}
+
+// sink takes an interface: passing an int boxes it.
+func sink(v any) {}
+
+//scorislint:hotpath
+func box(xs []int) {
+	for _, x := range xs {
+		sink(x) // want `boxes`
+	}
+}
+
+// helper allocates; calling it from a hot loop hides the allocation
+// one frame down, which is exactly what the transitive check is for.
+func helper(n int) []byte { return make([]byte, n) }
+
+//scorislint:hotpath
+func viaCall(xs []int) {
+	for _, x := range xs {
+		_ = helper(x) // want `call to helper`
+	}
+}

@@ -1,0 +1,35 @@
+// Package fixture is the idiomatic counterpart: hot loops that stay on
+// the stack — arithmetic, appends into a caller-owned buffer, copies —
+// and allocation hoisted out of the loop.
+package fixture
+
+//scorislint:hotpath
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// fill appends into a reusable destination: append's amortized growth
+// is the allowed allocation discipline (DESIGN.md §2).
+//
+//scorislint:hotpath
+func fill(dst []int32, xs []int32) []int32 {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// hoisted allocates once, outside the loop.
+//
+//scorislint:hotpath
+func hoisted(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Package fixture seeds the untrusted-byte paths the untrustedix
+// analyzer must catch: bytes read from disk flowing into slice bounds,
+// make sizes, and ReadAt offsets without a declared validator — across
+// function boundaries, not just inside one body.
+package fixture
+
+import "os"
+
+// readLen hand-parses a little-endian length out of the header: the
+// result is as hostile as the bytes it came from.
+func readLen(buf []byte) int {
+	return int(buf[0]) | int(buf[1])<<8
+}
+
+// load is the interprocedural pair: the source (os.ReadFile) is here,
+// the sink (the slice bound) is in body below. The tainted length
+// crosses the call unvalidated.
+func load(path string) ([]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := readLen(buf)
+	return body(buf, n), nil // want `untrusted bytes reach a slice bound`
+}
+
+// body slices the frame by a caller-supplied length.
+func body(buf []byte, n int) []byte {
+	return buf[:n]
+}
+
+// alloc sizes an allocation straight from a header byte.
+func alloc(path string) []byte {
+	buf, _ := os.ReadFile(path)
+	n := int(buf[2])
+	return make([]byte, n) // want `untrusted bytes reach a make size`
+}
+
+// seek turns an untrusted offset into a file position.
+func seek(f *os.File) ([]byte, error) {
+	hdr := make([]byte, 16)
+	if _, err := f.Read(hdr); err != nil {
+		return nil, err
+	}
+	off := int64(hdr[0]) | int64(hdr[1])<<8
+	out := make([]byte, 32)
+	if _, err := f.ReadAt(out, off); err != nil { // want `untrusted bytes reach a ReadAt offset`
+		return nil, err
+	}
+	return out, nil
+}

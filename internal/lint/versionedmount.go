@@ -28,7 +28,7 @@ func runVersionedMount(pass *Pass) {
 		if pkg.Path == httpapiPkgPath {
 			continue
 		}
-		for _, f := range pkg.Files {
+		for _, f := range pass.Files(pkg) {
 			// Only walk declarations; a FuncLit's registrations are
 			// attributed to the enclosing declaration, where the
 			// Versioned wrap (if any) also lexically lives.

@@ -32,7 +32,7 @@ type sessionKey struct {
 // the steady state serve warm sessions with zero allocation.
 type sessionPool struct {
 	mu      sync.Mutex
-	idle    map[sessionKey][]*blastn.Session
+	idle    map[sessionKey][]*blastn.Session // guardedby: mu
 	maxIdle int
 
 	created   atomic.Int64
